@@ -1,0 +1,162 @@
+package chordal
+
+import (
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/colorreduce"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/exp"
+	"repro/internal/gen"
+	"repro/internal/peel"
+)
+
+// Each experiment benchmark regenerates one table/figure from DESIGN.md's
+// per-experiment index. The table is printed once per `go test -bench`
+// invocation (quick-mode parameters); `cmd/experiments` (without -quick)
+// produces the full sweeps recorded in EXPERIMENTS.md.
+
+var printOnce sync.Map
+
+func runExperiment(b *testing.B, id string, fn func(bool) (*exp.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := fn(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := printOnce.LoadOrStore(id, true); !done {
+			tbl.Fprint(os.Stdout)
+		} else {
+			tbl.Fprint(io.Discard)
+		}
+	}
+}
+
+func BenchmarkE1_Fig12_CliqueForest(b *testing.B) { runExperiment(b, "E1", exp.E1Fig12) }
+func BenchmarkE2_Fig34_LocalView(b *testing.B)    { runExperiment(b, "E2", exp.E2Fig34) }
+func BenchmarkE3_Fig56_Peeling(b *testing.B)      { runExperiment(b, "E3", exp.E3Fig56) }
+func BenchmarkE4_PruningLayers(b *testing.B)      { runExperiment(b, "E4", exp.E4PruningLayers) }
+func BenchmarkE5_MVCApproximation(b *testing.B)   { runExperiment(b, "E5", exp.E5MVCApproximation) }
+func BenchmarkE6_MVCRounds(b *testing.B)          { runExperiment(b, "E6", exp.E6MVCRounds) }
+func BenchmarkE7_ColIntGraph(b *testing.B)        { runExperiment(b, "E7", exp.E7ColIntGraph) }
+func BenchmarkE8_Recoloring(b *testing.B)         { runExperiment(b, "E8", exp.E8Recoloring) }
+func BenchmarkE9_IntervalMIS(b *testing.B)        { runExperiment(b, "E9", exp.E9IntervalMIS) }
+func BenchmarkE10_IntervalMISRounds(b *testing.B) { runExperiment(b, "E10", exp.E10IntervalMISRounds) }
+func BenchmarkE11_ChordalMIS(b *testing.B)        { runExperiment(b, "E11", exp.E11ChordalMIS) }
+func BenchmarkE12_ChordalMISRounds(b *testing.B)  { runExperiment(b, "E12", exp.E12ChordalMISRounds) }
+func BenchmarkE13_LowerBound(b *testing.B)        { runExperiment(b, "E13", exp.E13LowerBound) }
+func BenchmarkE14_Baselines(b *testing.B)         { runExperiment(b, "E14", exp.E14Baselines) }
+func BenchmarkE15_LocalViewCoherence(b *testing.B) {
+	runExperiment(b, "E15", exp.E15LocalViewCoherence)
+}
+
+// Micro-benchmarks for the core building blocks.
+
+func BenchmarkCliqueForestConstruction(b *testing.B) {
+	g := RandomChordalGraph(2000, 5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCliqueForest(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColorChordalN2000(b *testing.B) {
+	g := RandomChordalGraph(2000, 5, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Color(g, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMISChordalN2000(b *testing.B) {
+	g := RandomChordalGraph(2000, 5, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxIndependentSet(g, 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMISIntervalN2000(b *testing.B) {
+	g, _ := RandomIntervalGraph(2000, 500, 3, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxIndependentSetInterval(g, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColorIntervalN2000(b *testing.B) {
+	ivs := gen.RandomIntervals(2000, 500, 3, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ColorInterval(ivs, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactBaselines(b *testing.B) {
+	g := RandomChordalGraph(2000, 5, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimalColoring(g); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := MaximumIndependentSetExact(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Substrate micro-benchmarks.
+
+func BenchmarkFloodBallCollection(b *testing.B) {
+	g := RandomChordalGraph(1000, 4, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dist.CollectBalls(g, 20, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedPruneN256(b *testing.B) {
+	g := RandomChordalGraph(256, 4, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DistributedPrune(g, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinialThreeColoring(b *testing.B) {
+	g := gen.Path(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := colorreduce.ThreeColorChain(g, 2000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPeelingN4096(b *testing.B) {
+	g := RandomChordalGraph(4096, 4, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := peel.Run(g, peel.Options{InternalDiameter: 12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Command chordal runs the paper's algorithms on a chordal graph loaded
+// from a JSON file ({"nodes": [...], "edges": [[u,v], ...]}) or generated
+// on the fly, and prints the result plus quality statistics.
+//
+// Usage:
+//
+//	chordal -alg color     -eps 0.25 -in graph.json
+//	chordal -alg color-dist -eps 0.5 -gen random -n 200 -seed 7
+//	chordal -alg mis        -eps 0.25 -gen interval -n 500
+//	chordal -alg forest     -in graph.json
+//	chordal -alg gen        -gen random -n 100 -out graph.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/chordal"
+	"repro/internal/cliquetree"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/verify"
+)
+
+func main() {
+	var (
+		alg       = flag.String("alg", "color", "algorithm: color | color-dist | color-any | stats | recognize | mis | mis-dist | mis-interval | exact-color | exact-mis | greedy | luby | forest | check | gen")
+		eps       = flag.Float64("eps", 0.25, "approximation parameter ε")
+		in        = flag.String("in", "", "input graph JSON (omit to generate)")
+		out       = flag.String("out", "", "output file for -alg gen (default stdout)")
+		genKind   = flag.String("gen", "random", "generator when -in absent: random | interval | tree | path | ktree")
+		n         = flag.Int("n", 200, "generated graph size")
+		maxClique = flag.Int("maxclique", 5, "generator clique-size parameter")
+		seed      = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	if err := run(*alg, *eps, *in, *out, *genKind, *n, *maxClique, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "chordal:", err)
+		os.Exit(1)
+	}
+}
+
+func run(alg string, eps float64, in, out, genKind string, n, maxClique int, seed int64) error {
+	g, err := loadOrGenerate(in, genKind, n, maxClique, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d m=%d chordal=%v\n", g.NumNodes(), g.NumEdges(), chordal.IsChordal(g))
+
+	switch alg {
+	case "gen":
+		w := os.Stdout
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return g.WriteJSON(w)
+
+	case "check":
+		if !chordal.IsChordal(g) {
+			return fmt.Errorf("graph is not chordal")
+		}
+		omega, err := chordal.CliqueNumber(g)
+		if err != nil {
+			return err
+		}
+		alpha, err := chordal.IndependenceNumber(g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("χ = ω = %d, α = %d\n", omega, alpha)
+		return nil
+
+	case "stats":
+		degeneracy, _ := g.Degeneracy()
+		fmt.Printf("Δ = %d, degeneracy = %d, components = %d, diameter = %d\n",
+			g.MaxDegree(), degeneracy, len(g.Components()), g.Diameter())
+		if chordal.IsChordal(g) {
+			omega, err := chordal.CliqueNumber(g)
+			if err != nil {
+				return err
+			}
+			alpha, err := chordal.IndependenceNumber(g)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("chordal: χ = ω = %d (degeneracy+1 = %d), α = %d, interval = %v\n",
+				omega, degeneracy+1, alpha, interval.IsInterval(g))
+		}
+		return nil
+
+	case "recognize":
+		path, model, err := interval.Recognize(g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("interval graph: %d maximal cliques in consecutive order\n", len(path))
+		for _, iv := range model[:min(10, len(model))] {
+			fmt.Printf("  node %d ↦ [%.0f, %.0f]\n", iv.Node, iv.Lo, iv.Hi)
+		}
+		if len(model) > 10 {
+			fmt.Printf("  … %d more\n", len(model)-10)
+		}
+		return nil
+
+	case "forest":
+		f, err := cliquetree.New(g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("clique forest: %d maximal cliques, %d edges, %d components, linear=%v\n",
+			f.NumVertices(), len(f.Edges()), len(f.Components()), f.IsLinear())
+		for _, e := range f.Edges() {
+			fmt.Printf("  %v -- %v\n", f.Clique(e[0]), f.Clique(e[1]))
+		}
+		return nil
+
+	case "color":
+		res, err := core.ColorChordal(g, eps)
+		if err != nil {
+			return err
+		}
+		return reportColoring(g, res.Colors, res.Omega, res.Palette, 0)
+
+	case "color-dist":
+		res, err := core.ColorChordalDistributed(g, eps)
+		if err != nil {
+			return err
+		}
+		return reportColoring(g, res.Colors, res.Omega, res.Palette, res.Rounds)
+
+	case "color-any":
+		// Future-work pipeline (paper Section 9): triangulate, then color.
+		tri, fill := chordal.FillIn(g)
+		res, err := core.ColorChordal(tri, eps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("triangulation added %d fill edges\n", len(fill))
+		return reportColoring(g, res.Colors, res.Omega, res.Palette, 0)
+
+	case "mis-dist":
+		res, err := core.MISChordalDistributed(g, eps)
+		if err != nil {
+			return err
+		}
+		return reportMIS(g, res.Set, res.Rounds)
+
+	case "exact-color":
+		colors, err := chordal.OptimalColoring(g)
+		if err != nil {
+			return err
+		}
+		used, err := verify.Coloring(g, colors)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("optimal coloring: %d colors\n", used)
+		return nil
+
+	case "mis":
+		res, err := core.MISChordal(g, eps)
+		if err != nil {
+			return err
+		}
+		return reportMIS(g, res.Set, res.Rounds)
+
+	case "mis-interval":
+		idBound := maxID(g) + 1
+		res, err := core.MISInterval(g, eps, idBound)
+		if err != nil {
+			return err
+		}
+		return reportMIS(g, res.Set, res.Rounds)
+
+	case "exact-mis":
+		is, err := chordal.MaximumIndependentSet(g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("maximum independent set: %d nodes\n", len(is))
+		return nil
+
+	case "greedy":
+		colors := baseline.GreedyColoring(g)
+		used, err := verify.Coloring(g, colors)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("greedy coloring: %d colors (Δ+1 = %d)\n", used, g.MaxDegree()+1)
+		return nil
+
+	case "luby":
+		is, rounds, err := baseline.LubyMIS(g, seed)
+		if err != nil {
+			return err
+		}
+		return reportMIS(g, is, rounds)
+
+	default:
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+}
+
+func loadOrGenerate(in, genKind string, n, maxClique int, seed int64) (*graph.Graph, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadJSON(f)
+	}
+	switch genKind {
+	case "random":
+		return gen.RandomChordal(n, gen.ChordalOpts{MaxCliqueSize: maxClique, AttachFull: 0.4}, seed), nil
+	case "interval":
+		return gen.RandomInterval(n, float64(n)/5, 3, seed), nil
+	case "tree":
+		return gen.Tree(n, seed), nil
+	case "path":
+		return gen.Path(n), nil
+	case "ktree":
+		return gen.KTree(n, maxClique, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", genKind)
+	}
+}
+
+func reportColoring(g *graph.Graph, colors map[graph.ID]int, omega, palette, rounds int) error {
+	used, err := verify.Coloring(g, colors)
+	if err != nil {
+		return fmt.Errorf("illegal coloring produced: %w", err)
+	}
+	fmt.Printf("coloring: %d colors, χ = %d, guarantee ≤ %d, ratio = %.4f\n",
+		used, omega, palette, float64(used)/float64(omega))
+	if rounds > 0 {
+		fmt.Printf("LOCAL rounds: %d\n", rounds)
+	}
+	return nil
+}
+
+func reportMIS(g *graph.Graph, is graph.Set, rounds int) error {
+	if err := verify.IndependentSet(g, is); err != nil {
+		return fmt.Errorf("dependent set produced: %w", err)
+	}
+	alpha, err := chordal.IndependenceNumber(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("independent set: %d nodes, α = %d, ratio = %.4f\n",
+		len(is), alpha, float64(alpha)/float64(len(is)))
+	if rounds > 0 {
+		fmt.Printf("LOCAL rounds: %d\n", rounds)
+	}
+	return nil
+}
+
+func maxID(g *graph.Graph) int {
+	max := 0
+	for _, v := range g.Nodes() {
+		if int(v) > max {
+			max = int(v)
+		}
+	}
+	return max
+}

@@ -1,0 +1,60 @@
+// Command experiments regenerates every experiment table from DESIGN.md's
+// per-experiment index (E1–E15); EXPERIMENTS.md records a full run.
+//
+// Usage:
+//
+//	experiments [-quick] [-only E7,E13]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink parameter sweeps for a fast run")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E7); empty = all")
+	flag.Parse()
+
+	if err := run(*quick, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, only string) error {
+	if only == "" {
+		return exp.All(os.Stdout, quick)
+	}
+	wanted := make(map[string]bool)
+	for _, id := range strings.Split(only, ",") {
+		wanted[strings.TrimSpace(strings.ToUpper(id))] = true
+	}
+	runs := map[string]func(bool) (*exp.Table, error){
+		"E1": exp.E1Fig12, "E2": exp.E2Fig34, "E3": exp.E3Fig56,
+		"E4": exp.E4PruningLayers, "E5": exp.E5MVCApproximation,
+		"E6": exp.E6MVCRounds, "E7": exp.E7ColIntGraph, "E8": exp.E8Recoloring,
+		"E9": exp.E9IntervalMIS, "E10": exp.E10IntervalMISRounds,
+		"E11": exp.E11ChordalMIS, "E12": exp.E12ChordalMISRounds,
+		"E13": exp.E13LowerBound, "E14": exp.E14Baselines,
+		"E15": exp.E15LocalViewCoherence, "E16": exp.E16BeyondChordal,
+		"E17": exp.E17MessageComplexity,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
+	for _, id := range order {
+		if !wanted[id] {
+			continue
+		}
+		tbl, err := runs[id](quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		tbl.Fprint(os.Stdout)
+	}
+	return nil
+}

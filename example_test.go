@@ -1,0 +1,86 @@
+package chordal_test
+
+import (
+	"fmt"
+
+	chordal "repro"
+)
+
+// The 7-node chordal graph used across the examples: two triangles
+// sharing an edge, plus a pendant path.
+func demoGraph() *chordal.Graph {
+	return chordal.FromEdges(nil, [][2]chordal.ID{
+		{1, 2}, {2, 3}, {1, 3},
+		{2, 4}, {3, 4},
+		{4, 5}, {5, 6},
+	})
+}
+
+func ExampleColor() {
+	g := demoGraph()
+	coloring, err := chordal.Color(g, 0.5)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	used, _ := chordal.VerifyColoring(g, coloring.Colors)
+	fmt.Printf("colors=%d chi=%d within-guarantee=%v\n",
+		used, coloring.Omega, used <= coloring.Palette)
+	// Output: colors=3 chi=3 within-guarantee=true
+}
+
+func ExampleMaxIndependentSet() {
+	g := demoGraph()
+	mis, err := chordal.MaxIndependentSet(g, 0.4)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	alpha, _ := chordal.IndependenceNumber(g)
+	fmt.Printf("size=%d alpha=%d\n", len(mis.Set), alpha)
+	// Output: size=3 alpha=3
+}
+
+func ExampleNewCliqueForest() {
+	g := demoGraph()
+	forest, err := chordal.NewCliqueForest(g)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("cliques=%d edges=%d\n", forest.NumVertices(), len(forest.Edges()))
+	// Output: cliques=4 edges=3
+}
+
+func ExampleIsChordal() {
+	fmt.Println(chordal.IsChordal(demoGraph()))
+	square := chordal.FromEdges(nil, [][2]chordal.ID{{1, 2}, {2, 3}, {3, 4}, {4, 1}})
+	fmt.Println(chordal.IsChordal(square))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleRecognizeInterval() {
+	// A path is an interval graph; the recognizer reconstructs a model.
+	g := chordal.FromEdges(nil, [][2]chordal.ID{{1, 2}, {2, 3}, {3, 4}})
+	model, err := chordal.RecognizeInterval(g)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("intervals=%d realizes=%v\n", len(model), chordal.FromIntervals(model).Equal(g))
+	// Output: intervals=4 realizes=true
+}
+
+func ExampleMaximumWeightIndependentSet() {
+	g := demoGraph()
+	weights := map[chordal.ID]int{1: 5, 2: 50, 3: 1, 4: 1, 5: 40, 6: 2}
+	set, total, err := chordal.MaximumWeightIndependentSet(g, weights)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("set=%v weight=%d\n", set, total)
+	// Output: set=[2 5] weight=90
+}

@@ -1,0 +1,63 @@
+// Frequency assignment: base stations whose interference graph is chordal
+// (a common model for hierarchical cell deployments) need channels such
+// that interfering stations never share one. Channels are licensed
+// spectrum — every extra channel costs real money — so we want close to
+// χ(G) channels, computed *by the stations themselves*.
+//
+// This example runs the paper's distributed (1+ε)-coloring (Algorithm 2)
+// in a simulated LOCAL network, audits the assignment for conflicts, and
+// compares the spectrum cost against the greedy heuristic and the optimum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	chordal "repro"
+	"repro/internal/baseline"
+)
+
+func main() {
+	const stations = 400
+	network := chordal.RandomChordalGraph(stations, 7, 2024)
+	fmt.Printf("interference graph: %d stations, %d interference pairs\n",
+		network.NumNodes(), network.NumEdges())
+
+	// Distributed run: stations exchange messages for `Rounds` LOCAL
+	// rounds and end up knowing their own channel.
+	plan, err := chordal.ColorDistributed(network, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	channels, err := chordal.VerifyColoring(network, plan.Colors)
+	if err != nil {
+		log.Fatalf("conflict audit failed: %v", err)
+	}
+	fmt.Printf("distributed plan: %d channels, %d LOCAL rounds, guarantee ≤ %d\n",
+		channels, plan.Rounds, plan.Palette)
+
+	// Spectrum cost comparison.
+	optimal, err := chordal.ChromaticNumber(network)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedy := baseline.GreedyColoring(network)
+	greedyChannels, err := chordal.VerifyColoring(network, greedy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spectrum cost: optimal %d | paper %d | greedy %d (Δ+1 worst case %d)\n",
+		optimal, channels, greedyChannels, network.MaxDegree()+1)
+
+	// Per-channel load: how many stations share each channel.
+	load := make(map[int]int)
+	for _, v := range network.Nodes() {
+		load[plan.Colors[v]]++
+	}
+	fmt.Println("channel load:")
+	for c := 1; c <= channels; c++ {
+		if load[c] > 0 {
+			fmt.Printf("  channel %2d: %d stations\n", c, load[c])
+		}
+	}
+}

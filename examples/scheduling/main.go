@@ -1,0 +1,77 @@
+// Scheduling: a shared resource (one conference room, one GPU, one
+// runway) receives time-interval requests; the requests we can accept
+// simultaneously form an independent set in the interval conflict graph.
+// Accepting a *maximum* set of requests is exactly interval MIS.
+//
+// This example books requests with the paper's (1+ε)-approximate interval
+// MIS (Algorithm 5) and compares the accepted count against the exact
+// optimum and against maximal-IS baselines (Luby, greedy), which carry no
+// quality guarantee.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	chordal "repro"
+	"repro/internal/baseline"
+)
+
+func main() {
+	const requests = 1000
+	conflicts, model := chordal.RandomIntervalGraph(requests, 300, 4, 7)
+	fmt.Printf("requests: %d, conflict pairs: %d\n", conflicts.NumNodes(), conflicts.NumEdges())
+	_ = model
+
+	booked, err := chordal.MaxIndependentSetInterval(conflicts, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := chordal.VerifyIndependentSet(conflicts, booked.Set); err != nil {
+		log.Fatalf("double booking: %v", err)
+	}
+
+	optimum, err := chordal.IndependenceNumber(conflicts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	luby, _, err := baseline.LubyMIS(conflicts, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedy := baseline.GreedyMIS(conflicts)
+
+	fmt.Printf("accepted requests:\n")
+	fmt.Printf("  exact optimum:        %4d\n", optimum)
+	fmt.Printf("  paper Algorithm 5:    %4d  (guarantee ≥ optimum/(1+ε), ε=0.25; %d LOCAL rounds)\n",
+		len(booked.Set), booked.Rounds)
+	fmt.Printf("  Luby maximal IS:      %4d  (no guarantee)\n", len(luby))
+	fmt.Printf("  greedy maximal IS:    %4d  (no guarantee)\n", len(greedy))
+
+	// The same pipeline works when the conflict graph is chordal but not
+	// interval — e.g. jobs conflicting through a shared hierarchy.
+	hier := chordal.RandomChordalGraph(800, 4, 5)
+	accepted, err := chordal.MaxIndependentSet(hier, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hierOpt, err := chordal.IndependenceNumber(hier)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chordal variant: accepted %d of optimum %d (Algorithm 6)\n",
+		len(accepted.Set), hierOpt)
+
+	// With per-request revenue, the exact weighted solver (Frank's
+	// algorithm on the chordal conflict graph) maximizes earnings.
+	revenue := make(map[chordal.ID]int, conflicts.NumNodes())
+	for i, v := range conflicts.Nodes() {
+		revenue[v] = 10 + (i*i)%90
+	}
+	paid, earned, err := chordal.MaximumWeightIndependentSet(conflicts, revenue)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("revenue-weighted booking: %d requests, %d revenue units (exact optimum)\n",
+		len(paid), earned)
+}

@@ -1,0 +1,75 @@
+package chordal
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+func TestFillInProducesChordalSupergraph(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"C4", gen.Cycle(4)},
+		{"C7", gen.Cycle(7)},
+		{"gnp", gen.GNP(30, 0.15, 3)},
+		{"gnp dense", gen.GNP(25, 0.4, 4)},
+		{"already chordal", gen.RandomChordal(40, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.4}, 5)},
+	}
+	for _, c := range cases {
+		tri, fill := FillIn(c.g)
+		if !IsChordal(tri) {
+			t.Errorf("%s: triangulation not chordal", c.name)
+		}
+		// Supergraph: all original edges present, all fill edges new.
+		for _, e := range c.g.Edges() {
+			if !tri.HasEdge(e[0], e[1]) {
+				t.Errorf("%s: lost edge %v", c.name, e)
+			}
+		}
+		if tri.NumEdges() != c.g.NumEdges()+len(fill) {
+			t.Errorf("%s: edge accounting off: %d != %d + %d",
+				c.name, tri.NumEdges(), c.g.NumEdges(), len(fill))
+		}
+		for _, e := range fill {
+			if c.g.HasEdge(e[0], e[1]) {
+				t.Errorf("%s: fill edge %v already existed", c.name, e)
+			}
+		}
+	}
+}
+
+func TestFillInNoopOnChordal(t *testing.T) {
+	g := gen.RandomChordal(60, gen.ChordalOpts{MaxCliqueSize: 5, AttachFull: 0.4}, 8)
+	_, fill := FillIn(g)
+	if len(fill) != 0 {
+		t.Fatalf("min-degree fill-in added %d edges to a chordal graph", len(fill))
+	}
+}
+
+func TestFillInCycleMinimal(t *testing.T) {
+	// Triangulating C_n needs exactly n-3 fill edges; the min-degree
+	// heuristic achieves it on cycles.
+	for _, n := range []int{4, 5, 8, 12} {
+		_, fill := FillIn(gen.Cycle(n))
+		if len(fill) != n-3 {
+			t.Fatalf("C%d: %d fill edges, want %d", n, len(fill), n-3)
+		}
+	}
+}
+
+func TestFillInColoringIsLegalForOriginal(t *testing.T) {
+	g := gen.GNP(40, 0.2, 9)
+	tri, _ := FillIn(g)
+	colors, err := OptimalColoring(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A proper coloring of the supergraph is proper for g.
+	if _, err := verify.Coloring(g, colors); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package chordal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// bruteForceWeightedAlpha computes the exact maximum weight of an
+// independent set by exhaustive search (n ≤ 25).
+func bruteForceWeightedAlpha(g *graph.Graph, weight map[graph.ID]int) int {
+	nodes := g.Nodes()
+	best := 0
+	var rec func(i, sum int, chosen []graph.ID)
+	rec = func(i, sum int, chosen []graph.ID) {
+		if sum > best {
+			best = sum
+		}
+		for j := i; j < len(nodes); j++ {
+			v := nodes[j]
+			ok := true
+			for _, u := range chosen {
+				if g.HasEdge(u, v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(j+1, sum+weight[v], append(chosen, v))
+			}
+		}
+	}
+	rec(0, 0, nil)
+	return best
+}
+
+func TestWeightedMISMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		g := gen.RandomChordal(16, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.4}, seed)
+		rng := rand.New(rand.NewSource(seed * 7))
+		weight := make(map[graph.ID]int)
+		for _, v := range g.Nodes() {
+			weight[v] = rng.Intn(10)
+		}
+		is, total, err := MaximumWeightIndependentSet(g, weight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.IndependentSet(g, is); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sum := 0
+		for _, v := range is {
+			sum += weight[v]
+		}
+		if sum != total {
+			t.Fatalf("seed %d: reported total %d, actual %d", seed, total, sum)
+		}
+		want := bruteForceWeightedAlpha(g, weight)
+		if total != want {
+			t.Fatalf("seed %d: weight %d, optimum %d", seed, total, want)
+		}
+	}
+}
+
+func TestWeightedMISUnitWeightsEqualsAlpha(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := gen.RandomChordal(60, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.4}, seed)
+		weight := make(map[graph.ID]int)
+		for _, v := range g.Nodes() {
+			weight[v] = 1
+		}
+		_, total, err := MaximumWeightIndependentSet(g, weight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpha, err := IndependenceNumber(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != alpha {
+			t.Fatalf("seed %d: unit-weight MIS %d != α %d", seed, total, alpha)
+		}
+	}
+}
+
+func TestWeightedMISEdgeCases(t *testing.T) {
+	// Negative weights rejected.
+	g := gen.Path(3)
+	if _, _, err := MaximumWeightIndependentSet(g, map[graph.ID]int{0: -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	// Zero weights: the empty set is optimal and any output with weight 0
+	// is fine.
+	is, total, err := MaximumWeightIndependentSet(g, map[graph.ID]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 {
+		t.Fatalf("zero-weight total = %d", total)
+	}
+	if err := verify.IndependentSet(g, is); err != nil {
+		t.Fatal(err)
+	}
+	// Non-chordal rejected.
+	if _, _, err := MaximumWeightIndependentSet(gen.Cycle(4), map[graph.ID]int{0: 1}); err == nil {
+		t.Fatal("non-chordal accepted")
+	}
+	// Weighted star: heavy center beats many light leaves.
+	star := gen.Star(6)
+	w := map[graph.ID]int{0: 100}
+	for i := 1; i < 6; i++ {
+		w[graph.ID(i)] = 1
+	}
+	_, total, err = MaximumWeightIndependentSet(star, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 100 {
+		t.Fatalf("star total = %d, want 100 (the heavy center)", total)
+	}
+}

@@ -1,0 +1,306 @@
+// Package cliquetree implements the paper's central data structure
+// (Sections 2–3): the weighted clique intersection graph W_G of a chordal
+// graph, the canonical linear order on its edges, the unique
+// maximum-weight spanning forest under that order (the clique forest), and
+// the machinery built on top of it — φ(v) / T(v) queries, maximal binary,
+// pendant and internal paths, path diameters and independence numbers, and
+// the local views of Lemma 2 / Figures 3–4.
+package cliquetree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chordal"
+	"repro/internal/graph"
+)
+
+// WeightedEdge is an edge of the weighted clique intersection graph W_G
+// between cliques with indices A < B and weight |C_A ∩ C_B| >= 1.
+type WeightedEdge struct {
+	A, B   int
+	Weight int
+}
+
+// WCIG builds the weighted clique intersection graph over the given
+// cliques: any two cliques with a nonempty intersection are connected by an
+// edge weighted by the intersection size.
+func WCIG(cliques []graph.Set) []WeightedEdge {
+	// Index cliques by member so we only compare intersecting pairs.
+	byMember := make(map[graph.ID][]int)
+	for i, c := range cliques {
+		for _, v := range c {
+			byMember[v] = append(byMember[v], i)
+		}
+	}
+	weight := make(map[[2]int]int)
+	for _, idxs := range byMember {
+		for x := 0; x < len(idxs); x++ {
+			for y := x + 1; y < len(idxs); y++ {
+				a, b := idxs[x], idxs[y]
+				if a > b {
+					a, b = b, a
+				}
+				weight[[2]int{a, b}]++
+			}
+		}
+	}
+	edges := make([]WeightedEdge, 0, len(weight))
+	for key, w := range weight {
+		edges = append(edges, WeightedEdge{A: key[0], B: key[1], Weight: w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	return edges
+}
+
+// CanonicalLess implements the paper's strict total order < on W_G edges:
+// e < f iff w_e < w_f, or weights are equal and le ≺ lf, or additionally
+// le = lf and he ≺ hf, where le/he are the lexicographically smaller/larger
+// σ-words of the edge's endpoint cliques. The order is total because
+// distinct edges have distinct (le, he) pairs.
+func CanonicalLess(cliques []graph.Set, e, f WeightedEdge) bool {
+	if e.Weight != f.Weight {
+		return e.Weight < f.Weight
+	}
+	eLo, eHi := sortedPair(cliques[e.A], cliques[e.B])
+	fLo, fHi := sortedPair(cliques[f.A], cliques[f.B])
+	if c := eLo.Compare(fLo); c != 0 {
+		return c < 0
+	}
+	return eHi.Compare(fHi) < 0
+}
+
+func sortedPair(a, b graph.Set) (lo, hi graph.Set) {
+	if a.Compare(b) <= 0 {
+		return a, b
+	}
+	return b, a
+}
+
+// MaxWeightSpanningForest runs Kruskal's algorithm over the given W_G
+// edges, preferring larger edges under the canonical order, and returns
+// the forest's edges (as index pairs with A < B). Because the canonical
+// order is a strict total order refining the weight order, the result is
+// the unique maximum-weight spanning forest the paper's mechanism selects.
+func MaxWeightSpanningForest(cliques []graph.Set, edges []WeightedEdge) [][2]int {
+	sorted := make([]WeightedEdge, len(edges))
+	copy(sorted, edges)
+	sort.Slice(sorted, func(i, j int) bool {
+		return CanonicalLess(cliques, sorted[j], sorted[i]) // descending
+	})
+	uf := newUnionFind(len(cliques))
+	var out [][2]int
+	for _, e := range sorted {
+		if uf.union(e.A, e.B) {
+			out = append(out, [2]int{e.A, e.B})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	return true
+}
+
+// Forest is the canonical clique forest of a chordal graph: its vertices
+// are the maximal cliques, its edges the unique maximum-weight spanning
+// forest of W_G under the canonical order.
+type Forest struct {
+	cliques []graph.Set
+	adj     [][]int
+	phi     map[graph.ID][]int
+}
+
+// New computes the clique forest of a chordal graph g. It returns an error
+// if g is not chordal.
+func New(g *graph.Graph) (*Forest, error) {
+	cliques, err := chordal.MaximalCliques(g)
+	if err != nil {
+		return nil, fmt.Errorf("clique forest: %w", err)
+	}
+	return FromCliques(cliques), nil
+}
+
+// FromCliques builds the canonical clique forest over the given cliques,
+// which must be the maximal cliques of some chordal graph.
+func FromCliques(cliques []graph.Set) *Forest {
+	f := &Forest{
+		cliques: cliques,
+		adj:     make([][]int, len(cliques)),
+		phi:     make(map[graph.ID][]int),
+	}
+	for i, c := range cliques {
+		for _, v := range c {
+			f.phi[v] = append(f.phi[v], i)
+		}
+	}
+	for _, e := range MaxWeightSpanningForest(cliques, WCIG(cliques)) {
+		f.adj[e[0]] = append(f.adj[e[0]], e[1])
+		f.adj[e[1]] = append(f.adj[e[1]], e[0])
+	}
+	for i := range f.adj {
+		sort.Ints(f.adj[i])
+	}
+	return f
+}
+
+// NumVertices returns the number of forest vertices (maximal cliques).
+func (f *Forest) NumVertices() int { return len(f.cliques) }
+
+// Clique returns the vertex set of forest vertex i.
+func (f *Forest) Clique(i int) graph.Set { return f.cliques[i] }
+
+// Cliques returns all cliques (shared slice; treat as read-only).
+func (f *Forest) Cliques() []graph.Set { return f.cliques }
+
+// Neighbors returns the forest neighbors of vertex i in increasing order.
+func (f *Forest) Neighbors(i int) []int { return f.adj[i] }
+
+// Degree returns the forest degree of vertex i.
+func (f *Forest) Degree(i int) int { return len(f.adj[i]) }
+
+// Edges returns the forest edges as index pairs with A < B, sorted.
+func (f *Forest) Edges() [][2]int {
+	var out [][2]int
+	for i, nbrs := range f.adj {
+		for _, j := range nbrs {
+			if i < j {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Phi returns φ(v): the indices of the cliques containing node v.
+func (f *Forest) Phi(v graph.ID) []int { return f.phi[v] }
+
+// HasEdge reports whether cliques i and j are adjacent in the forest.
+func (f *Forest) HasEdge(i, j int) bool {
+	for _, k := range f.adj[i] {
+		if k == j {
+			return true
+		}
+	}
+	return false
+}
+
+// SubtreeConnected reports whether T(v) = T[φ(v)] is connected (a tree),
+// which the clique-forest property guarantees for every node.
+func (f *Forest) SubtreeConnected(v graph.ID) bool {
+	idxs := f.phi[v]
+	if len(idxs) <= 1 {
+		return true
+	}
+	inPhi := make(map[int]bool, len(idxs))
+	for _, i := range idxs {
+		inPhi[i] = true
+	}
+	seen := map[int]bool{idxs[0]: true}
+	stack := []int{idxs[0]}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range f.adj[cur] {
+			if inPhi[nb] && !seen[nb] {
+				seen[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return len(seen) == len(idxs)
+}
+
+// IsLinear reports whether every component of the forest is a path
+// (Theorem 1: the underlying chordal graph is then an interval graph).
+func (f *Forest) IsLinear() bool {
+	for i := range f.adj {
+		if len(f.adj[i]) > 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// VertexSetOf returns the union of the cliques with the given indices.
+func (f *Forest) VertexSetOf(indices []int) graph.Set {
+	var out graph.Set
+	for _, i := range indices {
+		out = out.Union(f.cliques[i])
+	}
+	return out
+}
+
+// Components returns the forest's connected components as sorted index
+// slices, ordered by smallest index.
+func (f *Forest) Components() [][]int {
+	seen := make([]bool, len(f.adj))
+	var comps [][]int
+	for start := range f.adj {
+		if seen[start] {
+			continue
+		}
+		comp := []int{start}
+		seen[start] = true
+		for i := 0; i < len(comp); i++ {
+			for _, nb := range f.adj[comp[i]] {
+				if !seen[nb] {
+					seen[nb] = true
+					comp = append(comp, nb)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}

@@ -1,0 +1,35 @@
+package cliquetree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the clique forest in Graphviz DOT format: vertices are
+// labelled with their clique members, edges with their separators.
+func (f *Forest) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "CliqueForest"
+	}
+	if _, err := fmt.Fprintf(w, "graph %s {\n  node [shape=box];\n", name); err != nil {
+		return err
+	}
+	for i := 0; i < f.NumVertices(); i++ {
+		members := make([]string, len(f.cliques[i]))
+		for j, v := range f.cliques[i] {
+			members[j] = fmt.Sprint(v)
+		}
+		if _, err := fmt.Fprintf(w, "  c%d [label=\"{%s}\"];\n", i, strings.Join(members, ",")); err != nil {
+			return err
+		}
+	}
+	for _, e := range f.Edges() {
+		sep := f.cliques[e[0]].Intersect(f.cliques[e[1]])
+		if _, err := fmt.Fprintf(w, "  c%d -- c%d [label=\"%v\"];\n", e[0], e[1], sep); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,278 @@
+package cliquetree
+
+import (
+	"sort"
+
+	"repro/internal/chordal"
+	"repro/internal/graph"
+)
+
+// PathKind classifies a maximal binary path of the clique forest.
+type PathKind int
+
+const (
+	// Pendant paths contain a forest leaf (or are a whole path component,
+	// including isolated forest vertices).
+	Pendant PathKind = iota + 1
+	// Internal paths consist solely of degree-2 forest vertices; both ends
+	// attach to vertices of degree at least 3.
+	Internal
+)
+
+func (k PathKind) String() string {
+	switch k {
+	case Pendant:
+		return "pendant"
+	case Internal:
+		return "internal"
+	default:
+		return "unknown"
+	}
+}
+
+// Path is a maximal binary path C_1, ..., C_k in a clique forest: every
+// C_i has forest degree at most 2 and the path cannot be extended by
+// another degree-≤2 vertex.
+type Path struct {
+	// Cliques lists the forest vertex indices in path order.
+	Cliques []int
+	Kind    PathKind
+	// AttachStart and AttachEnd are the forest vertices outside the path
+	// adjacent to Cliques[0] and Cliques[len-1] respectively; -1 if none.
+	// Internal paths have both; pendant paths have at most AttachEnd
+	// (paths that form an entire forest component have neither).
+	AttachStart, AttachEnd int
+}
+
+// MaximalBinaryPaths returns all maximal binary paths of the forest:
+// the connected components of the subforest induced by vertices of degree
+// at most 2. Pendant paths are oriented with their leaf end first;
+// internal paths are oriented so that the first clique has the smaller
+// index. Paths are ordered by their smallest clique index.
+func (f *Forest) MaximalBinaryPaths() []Path {
+	n := len(f.adj)
+	isBinary := make([]bool, n)
+	for i := range f.adj {
+		isBinary[i] = len(f.adj[i]) <= 2
+	}
+	seen := make([]bool, n)
+	var paths []Path
+	for start := 0; start < n; start++ {
+		if !isBinary[start] || seen[start] {
+			continue
+		}
+		// Collect the component of degree-≤2 vertices containing start.
+		comp := []int{start}
+		seen[start] = true
+		for i := 0; i < len(comp); i++ {
+			for _, nb := range f.adj[comp[i]] {
+				if isBinary[nb] && !seen[nb] {
+					seen[nb] = true
+					comp = append(comp, nb)
+				}
+			}
+		}
+		paths = append(paths, f.orderPath(comp, isBinary))
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		return minOf(paths[i].Cliques) < minOf(paths[j].Cliques)
+	})
+	return paths
+}
+
+func minOf(xs []int) int {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// orderPath linearizes a binary component into path order and classifies
+// it. comp is the set of component vertices (unordered).
+func (f *Forest) orderPath(comp []int, isBinary []bool) Path {
+	inComp := make(map[int]bool, len(comp))
+	for _, c := range comp {
+		inComp[c] = true
+	}
+	// binaryDegree counts neighbors inside the component.
+	binaryDegree := func(c int) int {
+		d := 0
+		for _, nb := range f.adj[c] {
+			if inComp[nb] {
+				d++
+			}
+		}
+		return d
+	}
+	// Endpoints have at most one neighbor inside the component.
+	var ends []int
+	for _, c := range comp {
+		if binaryDegree(c) <= 1 {
+			ends = append(ends, c)
+		}
+	}
+	sort.Ints(ends)
+	start := ends[0] // single vertex: its own endpoint (degree 0)
+
+	ordered := make([]int, 0, len(comp))
+	prev := -1
+	cur := start
+	for {
+		ordered = append(ordered, cur)
+		next := -1
+		for _, nb := range f.adj[cur] {
+			if inComp[nb] && nb != prev {
+				next = nb
+				break
+			}
+		}
+		if next == -1 {
+			break
+		}
+		prev, cur = cur, next
+	}
+
+	attachOf := func(c int, exclude int) int {
+		for _, nb := range f.adj[c] {
+			if !inComp[nb] && nb != exclude {
+				return nb
+			}
+		}
+		return -1
+	}
+	p := Path{Cliques: ordered}
+	if len(ordered) == 1 {
+		// A single binary vertex can attach to zero, one, or two outside
+		// vertices; distinguish them so lone leaves stay pendant.
+		p.AttachStart = attachOf(ordered[0], -1)
+		p.AttachEnd = attachOf(ordered[0], p.AttachStart)
+		if p.AttachEnd == -1 {
+			// At most one attachment: keep it at the end (leaf-first).
+			p.AttachStart, p.AttachEnd = -1, p.AttachStart
+		}
+	} else {
+		p.AttachStart = attachOf(ordered[0], -1)
+		p.AttachEnd = attachOf(ordered[len(ordered)-1], -1)
+	}
+	// Classify: the path is internal iff every vertex has forest degree
+	// exactly 2, which for a linearized binary component means both ends
+	// attach outside.
+	if p.AttachStart != -1 && p.AttachEnd != -1 {
+		p.Kind = Internal
+	} else {
+		p.Kind = Pendant
+		// Orient pendant paths leaf-first.
+		if p.AttachStart != -1 {
+			reverseInts(p.Cliques)
+			p.AttachStart, p.AttachEnd = p.AttachEnd, p.AttachStart
+		}
+	}
+	return p
+}
+
+func reverseInts(xs []int) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// PathVertexSet returns V_P = C_1 ∪ ... ∪ C_k, all nodes whose subtrees
+// intersect the path.
+func (f *Forest) PathVertexSet(p Path) graph.Set {
+	return f.VertexSetOf(p.Cliques)
+}
+
+// SubpathNodes returns the nodes w whose subtree T(w) is a subpath of P,
+// i.e. φ(w) ⊆ P's cliques. These are the nodes the peeling process removes
+// for path P.
+func (f *Forest) SubpathNodes(p Path) graph.Set {
+	inPath := make(map[int]bool, len(p.Cliques))
+	for _, c := range p.Cliques {
+		inPath[c] = true
+	}
+	var out graph.Set
+	for _, v := range f.PathVertexSet(p) {
+		all := true
+		for _, ci := range f.phi[v] {
+			if !inPath[ci] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, v)
+		}
+	}
+	return graph.NewSet(out...)
+}
+
+// PathDiameter returns the diameter of the path per the paper's
+// definition: the maximum distance in g between nodes of V_P. Distances
+// are anchored at the two end cliques (the maximum over pairs with one
+// endpoint in C_1 ∪ C_k), which realizes the diameter on clique paths and
+// is always a lower bound; the peeling process only needs a sound
+// "diameter at least threshold" test, for which a lower bound is safe.
+func (f *Forest) PathDiameter(g *graph.Graph, p Path) int {
+	return f.PathDiameterCapped(g, p, 1<<30)
+}
+
+// PathDiameterCapped is PathDiameter with BFS exploration capped at cap
+// hops: it returns min(diameter, cap). The peeling process only compares
+// diameters against a threshold, so capping at the threshold preserves
+// every decision while keeping each BFS local to the path's
+// neighborhood.
+func (f *Forest) PathDiameterCapped(g *graph.Graph, p Path, cap int) int {
+	members := f.PathVertexSet(p)
+	inPath := make(map[graph.ID]bool, len(members))
+	for _, v := range members {
+		inPath[v] = true
+	}
+	anchors := f.cliques[p.Cliques[0]].Union(f.cliques[p.Cliques[len(p.Cliques)-1]])
+	best := 0
+	for _, a := range anchors {
+		reached := 0
+		seen := map[graph.ID]bool{a: true}
+		frontier := []graph.ID{a}
+		if inPath[a] {
+			reached++
+		}
+		for depth := 0; depth < cap && len(frontier) > 0 && reached < len(members); depth++ {
+			var next []graph.ID
+			for _, v := range frontier {
+				g.ForEachNeighbor(v, func(u graph.ID) {
+					if seen[u] {
+						return
+					}
+					seen[u] = true
+					next = append(next, u)
+					if inPath[u] {
+						reached++
+						if depth+1 > best {
+							best = depth + 1
+						}
+					}
+				})
+			}
+			frontier = next
+		}
+		if reached < len(members) {
+			// Some path member is farther than cap from this anchor.
+			return cap
+		}
+		if best >= cap {
+			return cap
+		}
+	}
+	return best
+}
+
+// PathIndependenceNumber returns α(G[V_P]) for the path's induced
+// subgraph, computed exactly (the induced subgraph is interval, hence
+// chordal, so Gavril's algorithm applies).
+func (f *Forest) PathIndependenceNumber(g *graph.Graph, p Path) (int, error) {
+	sub := g.InducedSubgraph(f.PathVertexSet(p))
+	return chordal.IndependenceNumber(sub)
+}

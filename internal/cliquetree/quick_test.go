@@ -1,0 +1,138 @@
+package cliquetree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chordal"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestQuickForestInvariants drives the clique-forest invariants with
+// generated seeds: forests are acyclic and spanning, subtrees are
+// connected, and the forest weight is maximal.
+func TestQuickForestInvariants(t *testing.T) {
+	f := func(seedRaw uint16, sizeRaw uint8) bool {
+		seed := int64(seedRaw)
+		n := 20 + int(sizeRaw)%60
+		g := gen.RandomChordal(n, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.4}, seed)
+		forest, err := New(g)
+		if err != nil {
+			return false
+		}
+		for _, v := range g.Nodes() {
+			if !forest.SubtreeConnected(v) {
+				return false
+			}
+		}
+		return len(forest.Edges()) == forest.NumVertices()-len(forest.Components())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLemma2 drives Lemma 2 with generated seeds: per-node local
+// MWSFs coincide with the induced subtrees.
+func TestQuickLemma2(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		seed := int64(seedRaw)
+		g := gen.RandomChordal(40, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.5}, seed)
+		forest, err := New(g)
+		if err != nil {
+			return false
+		}
+		for _, v := range g.Nodes() {
+			phiIdx := forest.Phi(v)
+			local := make([]graph.Set, len(phiIdx))
+			for i, ci := range phiIdx {
+				local[i] = forest.Clique(ci)
+			}
+			mwsf := MaxWeightSpanningForest(local, WCIG(local))
+			for _, e := range mwsf {
+				if !forest.HasEdge(phiIdx[e[0]], phiIdx[e[1]]) {
+					return false
+				}
+			}
+			if len(mwsf) != len(phiIdx)-1 && len(phiIdx) > 0 {
+				// T(v) is a tree: |edges| = |φ(v)| − 1.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSubpathNodesPartition checks that across the maximal binary
+// paths of a forest, the subpath-node sets are pairwise disjoint.
+func TestQuickSubpathNodesPartition(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		seed := int64(seedRaw)
+		g := gen.RandomChordal(50, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.3}, seed)
+		forest, err := New(g)
+		if err != nil {
+			return false
+		}
+		seen := make(map[graph.ID]bool)
+		for _, p := range forest.MaximalBinaryPaths() {
+			for _, v := range forest.SubpathNodes(p) {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPathDiameterCapConsistency checks capped vs uncapped diameters.
+func TestQuickPathDiameterCapConsistency(t *testing.T) {
+	f := func(seedRaw uint16, capRaw uint8) bool {
+		seed := int64(seedRaw)
+		cap := 2 + int(capRaw)%12
+		g := gen.RandomChordal(40, gen.ChordalOpts{MaxCliqueSize: 3, AttachFull: 0.3}, seed)
+		forest, err := New(g)
+		if err != nil {
+			return false
+		}
+		for _, p := range forest.MaximalBinaryPaths() {
+			full := forest.PathDiameter(g, p)
+			capped := forest.PathDiameterCapped(g, p, cap)
+			if full >= cap && capped != cap {
+				return false
+			}
+			if full < cap && capped != full {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMaximalCliquesCount confirms the ≤ n bound on random chordal
+// graphs (used throughout the paper).
+func TestQuickMaximalCliquesCount(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		seed := int64(seedRaw)
+		g := gen.RandomChordal(45, gen.ChordalOpts{MaxCliqueSize: 5, AttachFull: 0.5}, seed)
+		cliques, err := chordal.MaximalCliques(g)
+		if err != nil {
+			return false
+		}
+		return len(cliques) <= g.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package colorreduce
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// oracleChain builds a unit chain of n nodes whose Dist oracle returns
+// position distance (so contracted gaps are exact).
+func oracleChain(n int) *Chain {
+	ch := NewChain()
+	ch.AddNode(0)
+	for i := 0; i+1 < n; i++ {
+		ch.AddEdge(graph.ID(i), graph.ID(i+1), 1)
+	}
+	ch.Dist = func(u, v graph.ID) int {
+		d := int(v) - int(u)
+		if d < 0 {
+			return -d
+		}
+		return d
+	}
+	return ch
+}
+
+func TestSelectAnchorsOracleGaps(t *testing.T) {
+	for _, n := range []int{100, 500, 2000} {
+		ch := oracleChain(n)
+		res, err := SelectAnchors(ch, 16, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := -1
+		maxGap := 0
+		for _, a := range res.Anchors {
+			if prev >= 0 {
+				gap := int(a) - prev
+				if gap < 16 {
+					t.Fatalf("n=%d: anchors %d,%d at gap %d < 16", n, prev, a, gap)
+				}
+				if gap > maxGap {
+					maxGap = gap
+				}
+			}
+			prev = int(a)
+		}
+		// Overshoot stays bounded: anchors never merge two already-valid
+		// segments, so gaps stay below ~4× the threshold in practice.
+		if maxGap > 16*6 {
+			t.Fatalf("n=%d: max gap %d suspiciously large", n, maxGap)
+		}
+		if n >= 500 && len(res.Anchors) < n/(16*6) {
+			t.Fatalf("n=%d: only %d anchors", n, len(res.Anchors))
+		}
+	}
+}
+
+func TestSelectAnchorsPhaseCountStable(t *testing.T) {
+	// Phase count should not grow linearly with n (it is ~log in the
+	// anchor count with the hashed priorities).
+	small, err := SelectAnchors(oracleChain(200), 12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := SelectAnchors(oracleChain(4000), 12, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Phases > 4*small.Phases+10 {
+		t.Fatalf("phases grew from %d (n=200) to %d (n=4000)", small.Phases, large.Phases)
+	}
+}
+
+func TestSelectAnchorsDeterministic(t *testing.T) {
+	a, err := SelectAnchors(oracleChain(300), 10, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectAnchors(oracleChain(300), 10, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Anchors.Equal(b.Anchors) {
+		t.Fatal("anchor selection not deterministic")
+	}
+}

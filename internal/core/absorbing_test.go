@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/chordal"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// spiderK4 builds the adversarial instance where absorption matters: a K4
+// hub {100,101,102,103} with three arms attached through weight-3 sockets.
+// Each arm is an even path whose head (adjacent to three hub nodes) has
+// the smallest ID in the arm, so an arbitrary (min-ID-first) maximum
+// independent set takes the head and blocks the hub, while the absorbing
+// (furthest-first) choice leaves the hub free.
+func spiderK4(armLen int) *graph.Graph {
+	g := graph.New()
+	hub := []graph.ID{100, 101, 102, 103}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(hub[i], hub[j])
+		}
+	}
+	sockets := [][3]graph.ID{
+		{100, 101, 102}, {100, 101, 103}, {100, 102, 103},
+	}
+	next := graph.ID(0)
+	for arm := 0; arm < 3; arm++ {
+		head := next
+		next++
+		for _, u := range sockets[arm] {
+			g.AddEdge(head, u)
+		}
+		prev := head
+		for i := 1; i < armLen; i++ {
+			g.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+	}
+	return g
+}
+
+func TestAbsorbingAblationLosesNodes(t *testing.T) {
+	g := spiderK4(6) // even arms: α = 3·3 + 1 = 10
+	alpha, err := chordal.IndependenceNumber(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha != 10 {
+		t.Fatalf("α = %d, want 10", alpha)
+	}
+	withAbsorb, err := MISChordal(g, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.IndependentSet(g, withAbsorb.Set); err != nil {
+		t.Fatal(err)
+	}
+	ablated, err := MISChordalWithOptions(g, 0.45, ChordalMISOptions{DisableAbsorbing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.IndependentSet(g, ablated.Set); err != nil {
+		t.Fatal(err)
+	}
+	if len(withAbsorb.Set) != alpha {
+		t.Fatalf("absorbing run found %d, want α = %d", len(withAbsorb.Set), alpha)
+	}
+	if len(ablated.Set) >= len(withAbsorb.Set) {
+		t.Fatalf("ablation should lose nodes: ablated %d vs absorbing %d",
+			len(ablated.Set), len(withAbsorb.Set))
+	}
+}
+
+func TestAbsorbingMISSkipsArmHead(t *testing.T) {
+	// Directly on one arm: the absorbing MIS anchored at the hub must
+	// exclude the head; the unanchored variant picks it.
+	g := spiderK4(6)
+	arm := g.InducedSubgraph([]graph.ID{0, 1, 2, 3, 4, 5})
+	anchor := graph.NewSet(100, 101, 102)
+	anchored := AbsorbingMIS(arm, g, anchor)
+	if anchored.Contains(0) {
+		t.Fatalf("anchored absorbing MIS picked the head: %v", anchored)
+	}
+	free := AbsorbingMIS(arm, g, nil)
+	if !free.Contains(0) {
+		t.Fatalf("unanchored variant should pick min-ID head: %v", free)
+	}
+	if len(anchored) != 3 || len(free) != 3 {
+		t.Fatalf("both must be maximum (3): %d, %d", len(anchored), len(free))
+	}
+}

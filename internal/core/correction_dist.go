@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// The correction-phase choreography of Algorithms 2/4: after the coloring
+// phase, nodes without parents are final immediately and announce it;
+// every parent waits until (a) it is final itself and (b) every
+// higher-layer neighbor of its layer-l children is final, then sends
+// SetColor to those children (Lemma 10's recoloring, computed from the
+// parent's (k+5)-ball knowledge), which finalizes them in turn. The
+// engine measures the real asynchronous schedule length (the induction of
+// Lemma 12).
+
+type finalMsg struct {
+	Origin graph.ID
+	TTL    int
+}
+
+type setColorMsg struct {
+	Target graph.ID
+	Color  int
+	TTL    int
+}
+
+// correctionNode is one node's state machine for the correction phase.
+type correctionNode struct {
+	id        graph.ID
+	hasParent bool
+	final     bool
+	ttl       int // flooding TTL: k+5
+
+	// children[l] lists this node's children in layer l, descending l.
+	childLayers []int
+	children    map[int][]graph.ID
+	// need[l] is the set of nodes whose finality gates correcting layer l.
+	need map[int]map[graph.ID]bool
+	// assign holds the colors this parent will hand to its children
+	// (its local Lemma-10 computation, precomputed).
+	assign map[graph.ID]int
+
+	seenFinal map[graph.ID]bool
+	seenSet   map[graph.ID]bool
+	finals    map[graph.ID]bool
+	pendingAt int // index into childLayers of the next layer to correct
+}
+
+func (c *correctionNode) Init(ctx *dist.Context) {
+	if !c.hasParent {
+		c.final = true
+		c.announce(ctx)
+	}
+	c.tryCorrect(ctx)
+}
+
+func (c *correctionNode) announce(ctx *dist.Context) {
+	if c.seenFinal[c.id] {
+		return
+	}
+	c.seenFinal[c.id] = true
+	c.finals[c.id] = true
+	ctx.Broadcast(finalMsg{Origin: c.id, TTL: c.ttl})
+}
+
+func (c *correctionNode) Round(ctx *dist.Context, inbox []dist.Message) {
+	for _, m := range inbox {
+		switch msg := m.Payload.(type) {
+		case finalMsg:
+			c.finals[msg.Origin] = true
+			if !c.seenFinal[msg.Origin] {
+				c.seenFinal[msg.Origin] = true
+				if msg.TTL > 1 {
+					ctx.Broadcast(finalMsg{Origin: msg.Origin, TTL: msg.TTL - 1})
+				}
+			}
+		case setColorMsg:
+			if msg.Target == c.id {
+				if !c.final {
+					c.final = true
+					c.announce(ctx)
+				}
+				continue
+			}
+			if !c.seenSet[msg.Target] {
+				c.seenSet[msg.Target] = true
+				if msg.TTL > 1 {
+					ctx.Broadcast(setColorMsg{Target: msg.Target, Color: msg.Color, TTL: msg.TTL - 1})
+				}
+			}
+		}
+	}
+	c.tryCorrect(ctx)
+}
+
+// tryCorrect sends SetColor for the next child layers whose gates are
+// satisfied. Layers are processed top-down, as in CorrectChildren.
+func (c *correctionNode) tryCorrect(ctx *dist.Context) {
+	if !c.final {
+		return
+	}
+	for c.pendingAt < len(c.childLayers) {
+		l := c.childLayers[c.pendingAt]
+		for v := range c.need[l] {
+			if !c.finals[v] {
+				return
+			}
+		}
+		for _, child := range c.children[l] {
+			ctx.Broadcast(setColorMsg{Target: child, Color: c.assign[child], TTL: c.ttl})
+		}
+		c.pendingAt++
+	}
+}
+
+func (c *correctionNode) Done() bool  { return c.final && c.pendingAt >= len(c.childLayers) }
+func (c *correctionNode) Output() any { return c.final }
+
+// RunCorrectionPhase executes the correction choreography on the LOCAL
+// engine. Inputs: the layer map and parent map from the pruning phase and
+// the final colors (each parent's local Lemma-10 result). It returns the
+// measured rounds of the asynchronous schedule.
+func RunCorrectionPhase(g *graph.Graph, layer map[graph.ID]int, parent map[graph.ID]graph.ID, finalColors map[graph.ID]int, k int) (int, error) {
+	children := make(map[graph.ID]map[int][]graph.ID)
+	for child, p := range parent {
+		if children[p] == nil {
+			children[p] = make(map[int][]graph.ID)
+		}
+		l := layer[child]
+		children[p][l] = append(children[p][l], child)
+	}
+	eng := dist.NewEngine(g, func(v graph.ID) dist.Protocol {
+		node := &correctionNode{
+			id:        v,
+			hasParent: false,
+			ttl:       k + 5,
+			children:  children[v],
+			need:      make(map[int]map[graph.ID]bool),
+			assign:    make(map[graph.ID]int),
+			seenFinal: make(map[graph.ID]bool),
+			seenSet:   make(map[graph.ID]bool),
+			finals:    make(map[graph.ID]bool),
+		}
+		if _, ok := parent[v]; ok {
+			node.hasParent = true
+		}
+		for l, kids := range children[v] {
+			node.childLayers = append(node.childLayers, l)
+			gate := make(map[graph.ID]bool)
+			for _, child := range kids {
+				node.assign[child] = finalColors[child]
+				for _, u := range g.Neighbors(child) {
+					if layer[u] > l {
+						gate[u] = true
+					}
+				}
+			}
+			node.need[l] = gate
+		}
+		// Descending layer order (CorrectChildren processes lv−1 … 1).
+		for i := 0; i < len(node.childLayers); i++ {
+			for j := i + 1; j < len(node.childLayers); j++ {
+				if node.childLayers[j] > node.childLayers[i] {
+					node.childLayers[i], node.childLayers[j] = node.childLayers[j], node.childLayers[i]
+				}
+			}
+		}
+		return node
+	})
+	res, err := eng.Run(20 * (g.NumNodes() + 10) * (k + 5))
+	if err != nil {
+		return 0, fmt.Errorf("correction phase: %w", err)
+	}
+	for v, o := range res.Outputs {
+		if !o.(bool) {
+			return 0, fmt.Errorf("node %d never finalized", v)
+		}
+	}
+	return res.Rounds, nil
+}

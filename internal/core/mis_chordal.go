@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/chordal"
+	"repro/internal/graph"
+	"repro/internal/peel"
+)
+
+// ChordalMISResult is the outcome of the (1+ε)-approximate chordal MIS.
+type ChordalMISResult struct {
+	Set        graph.Set
+	D          int
+	Iterations int
+	Rounds     int
+	// ExactComponents / ApproxComponents count the two branches of
+	// Algorithm 6's inner loop.
+	ExactComponents  int
+	ApproxComponents int
+}
+
+// MISChordalParams returns Algorithm 6's parameters d = ⌈64/ε⌉ and
+// k = ⌈log(d/ε)⌉ + 2.
+func MISChordalParams(eps float64) (d, iterations int) {
+	d = int(math.Ceil(64 / eps))
+	iterations = int(math.Ceil(math.Log2(float64(d)/eps))) + 2
+	return d, iterations
+}
+
+// MISChordal implements Algorithm 6, the deterministic
+// (1+ε)-approximation for Maximum Independent Set on chordal graphs
+// (Theorems 7–8): the peeling process runs for Θ(log(1/ε)) iterations
+// (with the last iteration peeling internal paths of independence number
+// ≥ d), and each peeled path contributes either an absorbing maximum
+// independent set (small components) or a (1+ε/8)-approximate set via the
+// interval algorithm (large components).
+func MISChordal(g *graph.Graph, eps float64) (*ChordalMISResult, error) {
+	return MISChordalWithOptions(g, eps, ChordalMISOptions{})
+}
+
+// ChordalMISOptions toggles ablations of Algorithm 6's design choices.
+type ChordalMISOptions struct {
+	// DisableAbsorbing replaces the absorbing maximum independent sets of
+	// small components with arbitrary maximum independent sets, ablating
+	// the design choice Section 7.1 motivates (experiment E14/ablation).
+	DisableAbsorbing bool
+}
+
+// MISChordalWithOptions is MISChordal with ablation switches.
+func MISChordalWithOptions(g *graph.Graph, eps float64, opts ChordalMISOptions) (*ChordalMISResult, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("epsilon must be in (0,1), got %v", eps)
+	}
+	d, iterations := MISChordalParams(eps)
+	res := &ChordalMISResult{D: d, Iterations: iterations}
+	peeled, err := peel.Run(g, peel.Options{
+		InternalDiameter: 2*d + 3,
+		MaxIterations:    iterations,
+		FinalAlpha:       d,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("peeling: %w", err)
+	}
+	// LOCAL accounting: each iteration collects a Θ(d)-ball to identify
+	// paths and thresholds.
+	res.Rounds = len(peeled.Layers) * (2*d + 4)
+	if err := misFromPeel(g, peeled, d, eps, opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// MISChordalDistributed runs Algorithm 6 with the pruning phase executed
+// by genuine per-node message passing and local views (the Theorem 8
+// pipeline). Like ColorChordalDistributed, it self-checks the distributed
+// layer partition against the centralized peel and fails loudly on
+// divergence.
+func MISChordalDistributed(g *graph.Graph, eps float64) (*ChordalMISResult, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("epsilon must be in (0,1), got %v", eps)
+	}
+	d, iterations := MISChordalParams(eps)
+	spec := PruneSpec{
+		DiamThreshold: 2*d + 3,
+		Radius:        3*(2*d+3) + 2,
+		MaxIterations: iterations,
+		FinalAlpha:    d,
+	}
+	outcome, err := DistributedPruneSpec(g, spec)
+	if err != nil {
+		return nil, fmt.Errorf("distributed prune: %w", err)
+	}
+	peeled, err := peel.Run(g, peel.Options{
+		InternalDiameter: 2*d + 3,
+		MaxIterations:    iterations,
+		FinalAlpha:       d,
+	})
+	if err != nil {
+		return nil, err
+	}
+	central := peeled.NodeLayers()
+	for v, l := range outcome.Layer {
+		if central[v] != l {
+			return nil, fmt.Errorf("distributed/centralized divergence: node %d in layer %d vs %d",
+				v, l, central[v])
+		}
+	}
+	for v := range central {
+		if _, ok := outcome.Layer[v]; !ok {
+			return nil, fmt.Errorf("distributed prune never decided node %d (centralized layer %d)",
+				v, central[v])
+		}
+	}
+	res := &ChordalMISResult{D: d, Iterations: iterations, Rounds: outcome.Rounds}
+	if err := misFromPeel(g, peeled, d, eps, ChordalMISOptions{}, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// misFromPeel runs Algorithm 6's per-layer independent-set computation
+// over a peel result, accumulating into res.
+func misFromPeel(g *graph.Graph, peeled *peel.Result, d int, eps float64, opts ChordalMISOptions, res *ChordalMISResult) error {
+	idBound := 1
+	for _, v := range g.Nodes() {
+		if int(v) >= idBound {
+			idBound = int(v) + 1
+		}
+	}
+	// Nodes excluded once a neighbor joins I (Γ_G[I] grows as we go).
+	blocked := make(map[graph.ID]bool)
+	maxComponentRounds := 0
+	for li, layer := range peeled.Layers {
+		last := li == len(peeled.Layers)-1
+		for _, rec := range layer.Paths {
+			var avail []graph.ID
+			for _, v := range rec.Nodes {
+				if !blocked[v] {
+					avail = append(avail, v)
+				}
+			}
+			sub := g.InducedSubgraph(avail)
+			for _, comp := range sub.Components() {
+				h := sub.InducedSubgraph(comp)
+				ih, compRounds, exact, err := componentIS(g, h, rec, d, last, eps, idBound, opts)
+				if err != nil {
+					return fmt.Errorf("layer %d: %w", layer.Index, err)
+				}
+				if exact {
+					res.ExactComponents++
+				} else {
+					res.ApproxComponents++
+				}
+				if compRounds > maxComponentRounds {
+					maxComponentRounds = compRounds
+				}
+				for _, v := range ih {
+					res.Set = append(res.Set, v)
+					blocked[v] = true
+					for _, u := range g.Neighbors(v) {
+						blocked[u] = true
+					}
+				}
+			}
+		}
+	}
+	res.Rounds += maxComponentRounds
+	res.Set = graph.NewSet(res.Set...)
+	return nil
+}
+
+// componentIS computes the independent set for one maximal connected
+// subgraph H of a peeled path's available nodes.
+func componentIS(g *graph.Graph, h *graph.Graph, rec peel.PathRecord, d int, last bool, eps float64, idBound int, opts ChordalMISOptions) (graph.Set, int, bool, error) {
+	alpha, err := chordal.IndependenceNumber(h)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if alpha < d {
+		// Small component: exact maximum independent set; before the last
+		// iteration it must additionally be absorbing w.r.t. the outside
+		// clique the component touches.
+		var anchor graph.Set
+		if !last && !opts.DisableAbsorbing {
+			anchor = componentAnchor(g, h, rec)
+		}
+		ih := AbsorbingMIS(h, g, anchor)
+		return ih, 2*(d-1) + 2, true, nil
+	}
+	im, err := MISInterval(h, eps/8, idBound)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return im.Set, im.Rounds, false, nil
+}
+
+// componentAnchor returns the attachment clique of the peeled path that
+// the component touches (at most one when α(H) < d, as argued in
+// Section 7.1), or nil.
+func componentAnchor(g *graph.Graph, h *graph.Graph, rec peel.PathRecord) graph.Set {
+	touches := func(c graph.Set) bool {
+		if c == nil {
+			return false
+		}
+		for _, v := range h.Nodes() {
+			for _, u := range g.Neighbors(v) {
+				if c.Contains(u) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if touches(rec.AttachStart) {
+		return rec.AttachStart
+	}
+	if touches(rec.AttachEnd) {
+		return rec.AttachEnd
+	}
+	return nil
+}
+
+// AbsorbingMIS computes a maximum independent set of h that, when h leans
+// on an outside clique anchor, absorbs its own closed neighborhood:
+// simplicial vertices are taken furthest-from-anchor first (Section 7.1).
+// Any simplicial vertex lies in some maximum independent set, so the
+// greedy is exact regardless of order; the ordering provides the
+// absorption property.
+func AbsorbingMIS(h *graph.Graph, g *graph.Graph, anchor graph.Set) graph.Set {
+	// Distances from the anchor measured in g restricted to h's nodes
+	// plus the anchor clique.
+	distFromAnchor := make(map[graph.ID]int)
+	if len(anchor) > 0 {
+		scope := append(graph.Set(nil), anchor...)
+		scope = append(scope, h.Nodes()...)
+		region := g.InducedSubgraph(scope)
+		// Multi-source BFS from the anchor.
+		frontier := []graph.ID{}
+		for _, a := range anchor {
+			if region.HasNode(a) {
+				distFromAnchor[a] = 0
+				frontier = append(frontier, a)
+			}
+		}
+		for len(frontier) > 0 {
+			var next []graph.ID
+			for _, v := range frontier {
+				for _, u := range region.Neighbors(v) {
+					if _, seen := distFromAnchor[u]; !seen {
+						distFromAnchor[u] = distFromAnchor[v] + 1
+						next = append(next, u)
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+	work := h.Clone()
+	var out graph.Set
+	for work.NumNodes() > 0 {
+		var simplicial []graph.ID
+		for _, v := range work.Nodes() {
+			if chordal.IsSimplicial(work, v) {
+				simplicial = append(simplicial, v)
+			}
+		}
+		sort.Slice(simplicial, func(i, j int) bool {
+			di, dj := distFromAnchor[simplicial[i]], distFromAnchor[simplicial[j]]
+			if di != dj {
+				return di > dj // furthest first
+			}
+			return simplicial[i] < simplicial[j]
+		})
+		s := simplicial[0]
+		out = append(out, s)
+		for _, u := range work.Neighbors(s) {
+			work.RemoveNode(u)
+		}
+		work.RemoveNode(s)
+	}
+	return graph.NewSet(out...)
+}

@@ -1,0 +1,527 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chordal"
+	"repro/internal/cliquetree"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/peel"
+)
+
+// PruneOutcome is the result of the distributed pruning phase
+// (Algorithm 3): the layer assignment, each node's parent for the color
+// correction phase, and the LOCAL rounds consumed.
+type PruneOutcome struct {
+	Layer      map[graph.ID]int      // 1-based layer per node
+	Parent     map[graph.ID]graph.ID // parent per Definition 1; absent = ⊥
+	Rounds     int
+	Iterations int
+	// Messages and Volume (in NodeInfo records) measure the flooding
+	// traffic of the whole pruning phase — LOCAL allows unbounded
+	// messages; this is what the protocol actually used.
+	Messages int
+	Volume   int
+}
+
+// PruneSpec configures the distributed pruning phase. The zero value is
+// invalid; use the constructors or fill every relevant field.
+type PruneSpec struct {
+	// DiamThreshold peels internal paths of anchored diameter at least
+	// this value (Algorithm 2 uses 3k, Algorithm 6 uses 2d+3).
+	DiamThreshold int
+	// Radius is the per-iteration knowledge radius; it must comfortably
+	// exceed DiamThreshold (Algorithm 2 uses 10k ≈ 3.3×) so that
+	// threshold comparisons are exact within the ball.
+	Radius int
+	// MaxIterations truncates the process (Algorithm 6); 0 = until all
+	// nodes are decided.
+	MaxIterations int
+	// FinalAlpha, when positive with MaxIterations > 0, switches the last
+	// iteration's internal-path rule to "independence number ≥ FinalAlpha"
+	// (Algorithm 6's last iteration).
+	FinalAlpha int
+}
+
+// DistributedPrune runs the PruneTree subroutine of Algorithm 2 with
+// parameter k: per iteration, nodes flood their distance-10k
+// neighborhoods (genuine message passing, 10k rounds charged), undecided
+// nodes rebuild their local view of the clique forest of the remaining
+// graph, and each decides from that view alone whether its subtree lies
+// on a peelable path (a pendant path, or a binary path of diameter ≥ 3k).
+func DistributedPrune(g *graph.Graph, k int) (*PruneOutcome, error) {
+	return DistributedPruneSpec(g, PruneSpec{DiamThreshold: 3 * k, Radius: 10 * k})
+}
+
+// DistributedPruneSpec runs the distributed pruning phase under an
+// arbitrary rule set (Algorithm 2's or Algorithm 6's).
+func DistributedPruneSpec(g *graph.Graph, spec PruneSpec) (*PruneOutcome, error) {
+	if spec.Radius < spec.DiamThreshold*3 {
+		return nil, fmt.Errorf("radius %d too small for threshold %d (need ≥ 3×)",
+			spec.Radius, spec.DiamThreshold)
+	}
+	if spec.FinalAlpha > 0 && spec.Radius < 2*spec.FinalAlpha+16 {
+		return nil, fmt.Errorf("radius %d too small for α-threshold %d", spec.Radius, spec.FinalAlpha)
+	}
+	out := &PruneOutcome{
+		Layer:  make(map[graph.ID]int, g.NumNodes()),
+		Parent: make(map[graph.ID]graph.ID),
+	}
+	for iteration := 1; len(out.Layer) < g.NumNodes(); iteration++ {
+		if spec.MaxIterations > 0 && iteration > spec.MaxIterations {
+			break
+		}
+		if iteration > g.NumNodes()+1 {
+			return nil, fmt.Errorf("distributed prune did not terminate")
+		}
+		out.Iterations = iteration
+		last := spec.MaxIterations > 0 && iteration == spec.MaxIterations
+		notes := make(map[graph.ID]any, len(out.Layer))
+		for v, l := range out.Layer {
+			notes[v] = l
+		}
+		know, stats, err := dist.CollectBallsStats(g, spec.Radius, notes)
+		if err != nil {
+			return nil, err
+		}
+		out.Rounds += stats.Rounds
+		out.Messages += stats.Messages
+		out.Volume += stats.Volume
+
+		rule := decideRule{
+			diamThreshold: spec.DiamThreshold,
+			parentHorizon: spec.DiamThreshold/3 + 3,
+		}
+		if last && spec.FinalAlpha > 0 {
+			rule.alphaThreshold = spec.FinalAlpha
+		}
+		decided := make(map[graph.ID]graph.ID) // node -> parent (or -1)
+		for _, v := range g.Nodes() {
+			if _, done := out.Layer[v]; done {
+				continue
+			}
+			ball := know[v].BallGraph(spec.Radius)
+			// Restrict to the still-undecided nodes: the local picture of
+			// G_i (each node learned the layers via the flood notes).
+			var undecided []graph.ID
+			for _, u := range ball.Nodes() {
+				if _, done := out.Layer[u]; !done {
+					undecided = append(undecided, u)
+				}
+			}
+			ballGi := ball.InducedSubgraph(undecided)
+			peelMe, parent, err := decideNodeRule(ballGi, v, rule, spec.Radius)
+			if err != nil {
+				return nil, fmt.Errorf("iteration %d node %d: %w", iteration, v, err)
+			}
+			if peelMe {
+				decided[v] = parent
+			}
+		}
+		if len(decided) == 0 && !last {
+			return nil, fmt.Errorf("iteration %d peeled nothing", iteration)
+		}
+		for v, parent := range decided {
+			out.Layer[v] = iteration
+			if parent >= 0 {
+				out.Parent[v] = parent
+			}
+		}
+	}
+	return out, nil
+}
+
+// decideRule is the per-iteration peeling rule used by decideNodeRule.
+type decideRule struct {
+	diamThreshold  int
+	alphaThreshold int // >0 switches internal paths to the α rule
+	parentHorizon  int // parent adoption distance (k+3)
+}
+
+// lazyView incrementally reconstructs the clique forest of the ball graph
+// around a center node, expanding T(u) only for the members of cliques the
+// walk actually visits (Section 3 machinery, computed on demand).
+type lazyView struct {
+	g       *graph.Graph
+	distV   map[graph.ID]int
+	horizon int
+
+	cliqueIdx map[string]int
+	cliques   []graph.Set
+	adj       map[int]map[int]bool
+	ensured   map[graph.ID]bool
+	phi       map[graph.ID][]int
+}
+
+func newLazyView(ballGi *graph.Graph, center graph.ID, horizon int) *lazyView {
+	return &lazyView{
+		g:         ballGi,
+		distV:     ballGi.BFSDistances(center),
+		horizon:   horizon,
+		cliqueIdx: make(map[string]int),
+		adj:       make(map[int]map[int]bool),
+		ensured:   make(map[graph.ID]bool),
+		phi:       make(map[graph.ID][]int),
+	}
+}
+
+func (lv *lazyView) keyOf(c graph.Set) string {
+	b := make([]byte, 0, len(c)*4)
+	for _, v := range c {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func (lv *lazyView) addClique(c graph.Set) int {
+	key := lv.keyOf(c)
+	if i, ok := lv.cliqueIdx[key]; ok {
+		return i
+	}
+	i := len(lv.cliques)
+	lv.cliqueIdx[key] = i
+	lv.cliques = append(lv.cliques, c)
+	lv.adj[i] = make(map[int]bool)
+	for _, v := range c {
+		lv.phi[v] = append(lv.phi[v], i)
+	}
+	return i
+}
+
+// trusted reports whether every member of clique i is far enough from the
+// knowledge horizon that its neighborhood (and hence the clique's full
+// forest adjacency) is known exactly.
+func (lv *lazyView) trusted(i int) bool {
+	for _, v := range lv.cliques[i] {
+		d, ok := lv.distV[v]
+		if !ok || d > lv.horizon-3 {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureNode computes φ(u) and the edges of T(u) (Lemma 2) and merges
+// them into the view. Only valid for nodes within the trusted zone.
+func (lv *lazyView) ensureNode(u graph.ID) error {
+	if lv.ensured[u] {
+		return nil
+	}
+	lv.ensured[u] = true
+	phi, err := cliquetree.MaximalCliquesContaining(lv.g, u)
+	if err != nil {
+		return err
+	}
+	idx := make([]int, len(phi))
+	for i, c := range phi {
+		idx[i] = lv.addClique(c)
+	}
+	for _, e := range cliquetree.MaxWeightSpanningForest(phi, cliquetree.WCIG(phi)) {
+		a, b := idx[e[0]], idx[e[1]]
+		lv.adj[a][b] = true
+		lv.adj[b][a] = true
+	}
+	return nil
+}
+
+// ensureClique expands T(u) for every member of clique i, making the
+// clique's forest adjacency exact (requires trusted(i)).
+func (lv *lazyView) ensureClique(i int) error {
+	for _, u := range lv.cliques[i] {
+		if err := lv.ensureNode(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lv *lazyView) degree(i int) int { return len(lv.adj[i]) }
+
+func (lv *lazyView) neighbors(i int) []int {
+	var out []int
+	for j := range lv.adj[i] {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// decideNodeRule determines, purely from v's G_i-restricted ball, whether
+// v is peeled in the current iteration under the given rule, and if so
+// returns its parent (-1 = ⊥).
+func decideNodeRule(ballGi *graph.Graph, v graph.ID, rule decideRule, radius int) (bool, graph.ID, error) {
+	lv := newLazyView(ballGi, v, radius)
+	if err := lv.ensureNode(v); err != nil {
+		return false, -1, err
+	}
+	own := append([]int(nil), lv.phi[v]...)
+	// Every clique containing v sits within Γ[v]; ensure their members so
+	// degrees of φ(v) are exact, and require them all binary.
+	for _, ci := range own {
+		if !lv.trusted(ci) {
+			// Cannot happen for radius ≥ 4; be conservative.
+			return false, -1, nil
+		}
+		if err := lv.ensureClique(ci); err != nil {
+			return false, -1, err
+		}
+	}
+	for _, ci := range own {
+		if lv.degree(ci) > 2 {
+			return false, -1, nil
+		}
+	}
+
+	// φ(v) induces a path in the forest; find its two ends.
+	inOwn := make(map[int]bool, len(own))
+	for _, ci := range own {
+		inOwn[ci] = true
+	}
+	walked := append([]int(nil), own...)
+	inWalked := make(map[int]bool, len(walked))
+	for _, ci := range walked {
+		inWalked[ci] = true
+	}
+
+	// endState: 0 leaf, 1 branch (deg>=3), 2 frontier (untrusted).
+	var ends [2]int
+	var attach [2]graph.Set // branch clique per end, nil otherwise
+	endIdx := 0
+	// Walk outward from each end of the own-path.
+	for _, start := range pathEnds(lv, own) {
+		state, att, extension, err := walkDirection(lv, start, inWalked)
+		if err != nil {
+			return false, -1, err
+		}
+		for _, ci := range extension {
+			walked = append(walked, ci)
+			inWalked[ci] = true
+		}
+		ends[endIdx] = state
+		attach[endIdx] = att
+		endIdx++
+		if endIdx == 2 {
+			break
+		}
+	}
+
+	peelMe := false
+	if ends[0] == 0 || ends[1] == 0 {
+		peelMe = true // pendant path
+	} else if rule.alphaThreshold > 0 {
+		// Algorithm 6's last iteration: peel internal paths whose
+		// independence number reaches the threshold. The walked portion
+		// suffices: paths cut at the frontier span enough distance that
+		// their α already exceeds the threshold, and fully visible paths
+		// are measured exactly.
+		members := make(map[graph.ID]bool)
+		for _, ci := range walked {
+			for _, u := range lv.cliques[ci] {
+				members[u] = true
+			}
+		}
+		var ms []graph.ID
+		for u := range members {
+			ms = append(ms, u)
+		}
+		alpha, err := chordal.IndependenceNumber(lv.g.InducedSubgraph(ms))
+		if err != nil {
+			return false, -1, err
+		}
+		peelMe = alpha >= rule.alphaThreshold
+	} else {
+		// Internal (or frontier-extended) path: peel iff anchored
+		// diameter reaches the threshold within the walked portion.
+		if walkedDiameter(lv, walked) >= rule.diamThreshold {
+			peelMe = true
+		}
+	}
+	if !peelMe {
+		return false, -1, nil
+	}
+
+	// Parent (Definition 1): the closest attachment clique within k+3.
+	parent := graph.ID(-1)
+	bestDist := 1 << 30
+	for e := 0; e < 2; e++ {
+		if attach[e] == nil {
+			continue
+		}
+		d := distToSet(ballGi, v, attach[e])
+		if d <= rule.parentHorizon && d < bestDist {
+			bestDist = d
+			parent = attach[e][len(attach[e])-1] // max ID in sorted set
+		}
+	}
+	return true, parent, nil
+}
+
+// pathEnds returns the (at most two) cliques of the own-path with fewer
+// than two neighbors inside it; for a single clique it returns it twice.
+func pathEnds(lv *lazyView, own []int) []int {
+	if len(own) == 1 {
+		return []int{own[0], own[0]}
+	}
+	inOwn := make(map[int]bool, len(own))
+	for _, ci := range own {
+		inOwn[ci] = true
+	}
+	var ends []int
+	for _, ci := range own {
+		inside := 0
+		for _, nb := range lv.neighbors(ci) {
+			if inOwn[nb] {
+				inside++
+			}
+		}
+		if inside <= 1 {
+			ends = append(ends, ci)
+		}
+	}
+	sort.Ints(ends)
+	return ends
+}
+
+// walkDirection extends the walked path from one end through binary
+// trusted cliques. It returns the end state (0 leaf, 1 branch,
+// 2 frontier), the branch clique if any, and the cliques added.
+func walkDirection(lv *lazyView, start int, inWalked map[int]bool) (int, graph.Set, []int, error) {
+	var added []int
+	cur := start
+	for {
+		next := -1
+		for _, nb := range lv.neighbors(cur) {
+			if !inWalked[nb] && !contains(added, nb) {
+				next = nb
+				break
+			}
+		}
+		if next == -1 {
+			return 0, nil, added, nil // leaf end
+		}
+		if !lv.trusted(next) {
+			inWalked[next] = true     // consume so the other walk skips it
+			return 2, nil, added, nil // frontier
+		}
+		if err := lv.ensureClique(next); err != nil {
+			return 0, nil, added, err
+		}
+		if lv.degree(next) > 2 {
+			inWalked[next] = true                  // consume so the other walk skips it
+			return 1, lv.cliques[next], added, nil // branch vertex
+		}
+		added = append(added, next)
+		inWalked[next] = true
+		cur = next
+	}
+}
+
+func contains(xs []int, x int) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// walkedDiameter computes the anchored diameter of the walked path: the
+// maximum ball-graph distance from a member of the two extreme cliques to
+// any walked node. For pairs below the 3k threshold, ball distances equal
+// true distances (shortest paths fit inside the 10k ball).
+func walkedDiameter(lv *lazyView, walked []int) int {
+	members := make(map[graph.ID]bool)
+	for _, ci := range walked {
+		for _, v := range lv.cliques[ci] {
+			members[v] = true
+		}
+	}
+	// Extreme cliques: those with ≤1 neighbor inside walked.
+	inWalked := make(map[int]bool, len(walked))
+	for _, ci := range walked {
+		inWalked[ci] = true
+	}
+	var anchors []graph.ID
+	for _, ci := range walked {
+		inside := 0
+		for _, nb := range lv.neighbors(ci) {
+			if inWalked[nb] {
+				inside++
+			}
+		}
+		if inside <= 1 {
+			anchors = append(anchors, lv.cliques[ci]...)
+		}
+	}
+	best := 0
+	for _, a := range anchors {
+		for u, d := range lv.g.BFSDistances(a) {
+			if members[u] && d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+func distToSet(g *graph.Graph, v graph.ID, set graph.Set) int {
+	dist := g.BFSDistances(v)
+	best := 1 << 30
+	for _, u := range set {
+		if d, ok := dist[u]; ok && d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// ColorChordalDistributed runs the full distributed Algorithm 2: the
+// genuinely message-passed pruning phase, then the coloring and color
+// correction phases with LOCAL round accounting. As a built-in
+// self-check it verifies that the distributed layer partition matches the
+// centralized Algorithm 1 partition (Lemma 12) and fails loudly if not.
+func ColorChordalDistributed(g *graph.Graph, eps float64) (*ChordalColoring, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("epsilon must be positive, got %v", eps)
+	}
+	k := EffectiveK(eps)
+	outcome, err := DistributedPrune(g, k)
+	if err != nil {
+		return nil, fmt.Errorf("distributed prune: %w", err)
+	}
+	peeled, err := peel.Run(g, peel.Options{InternalDiameter: 3 * k})
+	if err != nil {
+		return nil, err
+	}
+	central := peeled.NodeLayers()
+	for v, l := range outcome.Layer {
+		if central[v] != l {
+			return nil, fmt.Errorf("Lemma 12 violation: node %d in distributed layer %d, centralized layer %d",
+				v, l, central[v])
+		}
+	}
+	rounds := outcome.Rounds
+	col, err := colorLayers(g, k, peeled, &rounds)
+	if err != nil {
+		return nil, err
+	}
+	// Correction-phase sanity: only nodes with parents may have been
+	// recolored (they are the only ones that receive SetColor).
+	for v, final := range col.Colors {
+		if final != col.Provisional[v] {
+			if _, ok := outcome.Parent[v]; !ok {
+				return nil, fmt.Errorf("node %d recolored without a parent", v)
+			}
+		}
+	}
+	// Run the correction choreography with real messages and charge its
+	// measured asynchronous schedule length.
+	corrRounds, err := RunCorrectionPhase(g, outcome.Layer, outcome.Parent, col.Colors, k)
+	if err != nil {
+		return nil, err
+	}
+	col.Rounds = rounds + corrRounds
+	return col, nil
+}

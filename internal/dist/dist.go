@@ -1,0 +1,207 @@
+// Package dist simulates the LOCAL model of distributed computation
+// (paper Section 1): the input graph is the communication network, every
+// node hosts a state machine, and execution proceeds in synchronous
+// rounds. In each round a node may perform unbounded local computation and
+// send an unbounded message to each neighbor; the cost of an algorithm is
+// the number of communication rounds.
+//
+// The engine runs one goroutine per node per round with a barrier between
+// rounds, so node programs execute genuinely concurrently; determinism is
+// preserved because nodes interact only through messages delivered at
+// round boundaries. A sequential mode exists for debugging.
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Message is a point-to-point message delivered at the next round
+// boundary. Payloads must be treated as immutable by both sender and
+// receiver.
+type Message struct {
+	From    graph.ID
+	Payload any
+}
+
+// Protocol is the per-node state machine of a LOCAL algorithm. The engine
+// calls Init once before the first round and Round once per communication
+// round until every node reports Done.
+type Protocol interface {
+	// Init runs before round 1; the node may send its first messages.
+	Init(ctx *Context)
+	// Round runs once per communication round with the messages sent to
+	// this node in the previous round.
+	Round(ctx *Context, inbox []Message)
+	// Done reports whether this node's output is final. Done nodes keep
+	// receiving Round calls (LOCAL nodes still relay messages); the run
+	// stops when all nodes are simultaneously Done.
+	Done() bool
+	// Output returns the node's final output.
+	Output() any
+}
+
+// Context is a node's interface to the network during Init/Round calls.
+type Context struct {
+	id        graph.ID
+	neighbors []graph.ID
+	outbox    []Message
+	targets   []graph.ID
+}
+
+// ID returns the node's unique identifier.
+func (c *Context) ID() graph.ID { return c.id }
+
+// Neighbors returns the node's neighbors in increasing ID order.
+func (c *Context) Neighbors() []graph.ID { return c.neighbors }
+
+// Degree returns the number of neighbors.
+func (c *Context) Degree() int { return len(c.neighbors) }
+
+// Send queues a message to neighbor to, delivered next round.
+func (c *Context) Send(to graph.ID, payload any) {
+	c.outbox = append(c.outbox, Message{From: c.id, Payload: payload})
+	c.targets = append(c.targets, to)
+}
+
+// Broadcast queues the same payload to every neighbor.
+func (c *Context) Broadcast(payload any) {
+	for _, nb := range c.neighbors {
+		c.Send(nb, payload)
+	}
+}
+
+// Sizer lets payload types report a size in abstract units (e.g. record
+// counts) for bandwidth accounting; payloads without it count as 1 unit.
+type Sizer interface {
+	PayloadSize() int
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	// Rounds is the number of communication rounds executed.
+	Rounds int
+	// Outputs maps each node to its protocol output.
+	Outputs map[graph.ID]any
+	// Messages counts point-to-point messages sent over the whole run.
+	Messages int
+	// Volume sums payload sizes (Sizer units; 1 per message otherwise).
+	// LOCAL allows unbounded messages — this measures what the protocols
+	// actually use.
+	Volume int
+}
+
+// Engine executes a Protocol instance on every node of a graph.
+type Engine struct {
+	g     *graph.Graph
+	nodes []graph.ID
+	progs map[graph.ID]Protocol
+	// Sequential disables per-round goroutines (useful under -race or for
+	// bisecting nondeterminism suspicions).
+	Sequential bool
+}
+
+// NewEngine creates an engine running factory(v) on every node v of g.
+func NewEngine(g *graph.Graph, factory func(v graph.ID) Protocol) *Engine {
+	e := &Engine{
+		g:     g,
+		nodes: g.Nodes(),
+		progs: make(map[graph.ID]Protocol, g.NumNodes()),
+	}
+	for _, v := range e.nodes {
+		e.progs[v] = factory(v)
+	}
+	return e
+}
+
+// Run executes the protocol until every node is Done, or fails after
+// maxRounds rounds. It returns the number of rounds executed and each
+// node's output.
+func (e *Engine) Run(maxRounds int) (*Result, error) {
+	inboxes := make(map[graph.ID][]Message, len(e.nodes))
+	ctxs := make(map[graph.ID]*Context, len(e.nodes))
+	for _, v := range e.nodes {
+		ctxs[v] = &Context{id: v, neighbors: e.g.Neighbors(v)}
+	}
+
+	res := &Result{}
+	e.parallel(func(v graph.ID) {
+		e.progs[v].Init(ctxs[v])
+	})
+	next := e.collectOutboxes(ctxs, res)
+
+	for !e.allDone() {
+		if res.Rounds >= maxRounds {
+			return nil, fmt.Errorf("protocol did not terminate within %d rounds", maxRounds)
+		}
+		res.Rounds++
+		inboxes = next
+		e.parallel(func(v graph.ID) {
+			e.progs[v].Round(ctxs[v], inboxes[v])
+		})
+		next = e.collectOutboxes(ctxs, res)
+	}
+
+	res.Outputs = make(map[graph.ID]any, len(e.nodes))
+	for _, v := range e.nodes {
+		res.Outputs[v] = e.progs[v].Output()
+	}
+	return res, nil
+}
+
+// parallel runs fn for every node, concurrently unless Sequential.
+func (e *Engine) parallel(fn func(v graph.ID)) {
+	if e.Sequential {
+		for _, v := range e.nodes {
+			fn(v)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(e.nodes))
+	for _, v := range e.nodes {
+		go func(v graph.ID) {
+			defer wg.Done()
+			fn(v)
+		}(v)
+	}
+	wg.Wait()
+}
+
+// collectOutboxes moves queued messages into next-round inboxes,
+// deterministically ordered by (sender, queue position).
+func (e *Engine) collectOutboxes(ctxs map[graph.ID]*Context, res *Result) map[graph.ID][]Message {
+	next := make(map[graph.ID][]Message)
+	for _, v := range e.nodes {
+		ctx := ctxs[v]
+		for i, msg := range ctx.outbox {
+			to := ctx.targets[i]
+			next[to] = append(next[to], msg)
+			res.Messages++
+			if s, ok := msg.Payload.(Sizer); ok {
+				res.Volume += s.PayloadSize()
+			} else {
+				res.Volume++
+			}
+		}
+		ctx.outbox = ctx.outbox[:0]
+		ctx.targets = ctx.targets[:0]
+	}
+	for to := range next {
+		msgs := next[to]
+		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+	}
+	return next
+}
+
+func (e *Engine) allDone() bool {
+	for _, v := range e.nodes {
+		if !e.progs[v].Done() {
+			return false
+		}
+	}
+	return true
+}

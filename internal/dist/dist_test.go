@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// echoProtocol floods a counter for a fixed number of rounds.
+type echoProtocol struct {
+	rounds int
+	target int
+	sum    int
+}
+
+func (p *echoProtocol) Init(ctx *Context) { ctx.Broadcast(1) }
+func (p *echoProtocol) Round(ctx *Context, inbox []Message) {
+	if p.rounds >= p.target {
+		return
+	}
+	p.rounds++
+	for _, m := range inbox {
+		p.sum += m.Payload.(int)
+	}
+	if p.rounds < p.target {
+		ctx.Broadcast(1)
+	}
+}
+func (p *echoProtocol) Done() bool  { return p.rounds >= p.target }
+func (p *echoProtocol) Output() any { return p.sum }
+
+func TestEngineRoundsAndDelivery(t *testing.T) {
+	g := gen.Cycle(6)
+	for _, sequential := range []bool{true, false} {
+		eng := NewEngine(g, func(v graph.ID) Protocol {
+			return &echoProtocol{target: 3}
+		})
+		eng.Sequential = sequential
+		res, err := eng.Run(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rounds != 3 {
+			t.Fatalf("sequential=%v: rounds = %d, want 3", sequential, res.Rounds)
+		}
+		// Each node receives 2 messages per round for 3 rounds.
+		for v, out := range res.Outputs {
+			if out.(int) != 6 {
+				t.Fatalf("sequential=%v: node %d sum = %d, want 6", sequential, v, out)
+			}
+		}
+	}
+}
+
+func TestEngineTimeout(t *testing.T) {
+	g := gen.Path(3)
+	eng := NewEngine(g, func(v graph.ID) Protocol {
+		return &echoProtocol{target: 100}
+	})
+	if _, err := eng.Run(5); err == nil {
+		t.Fatal("expected timeout error")
+	}
+}
+
+func TestEngineConcurrentMatchesSequential(t *testing.T) {
+	g := gen.RandomChordal(40, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.4}, 7)
+	run := func(sequential bool) map[graph.ID]any {
+		eng := NewEngine(g, func(v graph.ID) Protocol {
+			return &echoProtocol{target: 4}
+		})
+		eng.Sequential = sequential
+		res, err := eng.Run(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Outputs
+	}
+	seq := run(true)
+	con := run(false)
+	for v := range seq {
+		if seq[v] != con[v] {
+			t.Fatalf("node %d: sequential %v != concurrent %v", v, seq[v], con[v])
+		}
+	}
+}
+
+func TestCollectBallsExactBalls(t *testing.T) {
+	g := gen.RandomChordal(30, gen.ChordalOpts{MaxCliqueSize: 3, AttachFull: 0.5}, 3)
+	for _, radius := range []int{0, 1, 2, 4} {
+		know, rounds, err := CollectBalls(g, radius, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds != radius {
+			t.Fatalf("radius %d: rounds = %d", radius, rounds)
+		}
+		for _, v := range g.Nodes() {
+			k := know[v]
+			wantBall := g.Ball(v, radius)
+			if len(k.Dist) != len(wantBall) {
+				t.Fatalf("radius %d node %d: knows %d nodes, want %d",
+					radius, v, len(k.Dist), len(wantBall))
+			}
+			for _, u := range wantBall {
+				wantDist := g.Distance(v, u)
+				if k.Dist[u] != wantDist {
+					t.Fatalf("radius %d node %d: dist[%d] = %d, want %d",
+						radius, v, u, k.Dist[u], wantDist)
+				}
+			}
+			// Ball graph equals the true induced subgraph.
+			ball := k.BallGraph(radius)
+			want := g.InducedSubgraph(wantBall)
+			if !ball.Equal(want) {
+				t.Fatalf("radius %d node %d: ball graph mismatch", radius, v)
+			}
+		}
+	}
+}
+
+func TestCollectBallsNotes(t *testing.T) {
+	g := gen.Path(5)
+	notes := map[graph.ID]any{0: "a", 4: "b"}
+	know, _, err := CollectBalls(g, 4, notes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := know[2]
+	if k.Note(0) != "a" || k.Note(4) != "b" {
+		t.Fatalf("notes not propagated: %v, %v", k.Note(0), k.Note(4))
+	}
+	if k.Note(1) != nil {
+		t.Fatal("unexpected note on node 1")
+	}
+}
+
+func TestCollectBallsDisconnected(t *testing.T) {
+	g := gen.Path(4)
+	g.AddEdge(10, 11)
+	know, _, err := CollectBalls(g, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := know[0].Dist[10]; ok {
+		t.Fatal("knowledge crossed components")
+	}
+	if len(know[10].Dist) != 2 {
+		t.Fatalf("node 10 knows %d nodes, want 2", len(know[10].Dist))
+	}
+}

@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// NodeInfo is the unit of knowledge the full-information flooding protocol
+// disseminates: a node's identity, its full adjacency list, and an
+// arbitrary annotation (e.g. its layer number).
+type NodeInfo struct {
+	Node graph.ID
+	Adj  []graph.ID
+	Note any
+}
+
+// Knowledge is what a node has learned after r rounds of flooding: the
+// info of every node at distance at most r, with distances.
+type Knowledge struct {
+	Center graph.ID
+	Radius int
+	Info   map[graph.ID]NodeInfo
+	Dist   map[graph.ID]int
+}
+
+// BallGraph returns the subgraph induced by the known nodes at distance at
+// most r from the center. Because each known node carries its full
+// adjacency list, the induced subgraph is exact for r <= Radius.
+func (k *Knowledge) BallGraph(r int) *graph.Graph {
+	g := graph.New()
+	for v, d := range k.Dist {
+		if d <= r {
+			g.AddNode(v)
+		}
+	}
+	for v, d := range k.Dist {
+		if d > r {
+			continue
+		}
+		for _, u := range k.Info[v].Adj {
+			if du, ok := k.Dist[u]; ok && du <= r {
+				g.AddEdge(v, u)
+			}
+		}
+	}
+	return g
+}
+
+// Note returns the annotation of a known node (nil if unknown).
+func (k *Knowledge) Note(v graph.ID) any {
+	if info, ok := k.Info[v]; ok {
+		return info.Note
+	}
+	return nil
+}
+
+// infoBatch is the flood message payload; its size is its record count.
+type infoBatch []NodeInfo
+
+// PayloadSize implements Sizer.
+func (b infoBatch) PayloadSize() int { return len(b) }
+
+// floodProtocol implements incremental full-information flooding: each
+// round a node forwards only the NodeInfo records it learned in the
+// previous round, so total communication is proportional to the knowledge
+// gathered rather than quadratic in it.
+type floodProtocol struct {
+	radius int
+	round  int
+	know   *Knowledge
+	fresh  []NodeInfo
+}
+
+func newFloodProtocol(v graph.ID, adj []graph.ID, note any, radius int) *floodProtocol {
+	self := NodeInfo{Node: v, Adj: adj, Note: note}
+	return &floodProtocol{
+		radius: radius,
+		know: &Knowledge{
+			Center: v,
+			Radius: radius,
+			Info:   map[graph.ID]NodeInfo{v: self},
+			Dist:   map[graph.ID]int{v: 0},
+		},
+		fresh: []NodeInfo{self},
+	}
+}
+
+func (p *floodProtocol) Init(ctx *Context) {
+	if p.radius > 0 {
+		ctx.Broadcast(infoBatch(p.fresh))
+	}
+}
+
+func (p *floodProtocol) Round(ctx *Context, inbox []Message) {
+	if p.round >= p.radius {
+		return
+	}
+	p.round++
+	var fresh []NodeInfo
+	for _, m := range inbox {
+		for _, info := range m.Payload.(infoBatch) {
+			if _, known := p.know.Dist[info.Node]; !known {
+				p.know.Info[info.Node] = info
+				p.know.Dist[info.Node] = p.round
+				fresh = append(fresh, info)
+			}
+		}
+	}
+	p.fresh = fresh
+	if p.round < p.radius && len(fresh) > 0 {
+		ctx.Broadcast(infoBatch(fresh))
+	}
+}
+
+func (p *floodProtocol) Done() bool  { return p.round >= p.radius }
+func (p *floodProtocol) Output() any { return p.know }
+
+// CollectBalls runs full-information flooding for radius rounds on g, with
+// optional per-node annotations, and returns each node's Knowledge. The
+// second return value is the number of communication rounds used (always
+// radius).
+func CollectBalls(g *graph.Graph, radius int, notes map[graph.ID]any) (map[graph.ID]*Knowledge, int, error) {
+	out, res, err := CollectBallsStats(g, radius, notes)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, res.Rounds, nil
+}
+
+// CollectBallsStats is CollectBalls with the full engine result (rounds,
+// message count, volume in NodeInfo records) for bandwidth measurements.
+func CollectBallsStats(g *graph.Graph, radius int, notes map[graph.ID]any) (map[graph.ID]*Knowledge, *Result, error) {
+	eng := NewEngine(g, func(v graph.ID) Protocol {
+		return newFloodProtocol(v, g.Neighbors(v), notes[v], radius)
+	})
+	res, err := eng.Run(radius + 1)
+	if err != nil {
+		return nil, nil, fmt.Errorf("flooding: %w", err)
+	}
+	out := make(map[graph.ID]*Knowledge, len(res.Outputs))
+	for v, o := range res.Outputs {
+		out[v] = o.(*Knowledge)
+	}
+	return out, res, nil
+}

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllQuick runs every experiment in quick mode end-to-end: the
+// harness is itself part of the deliverable, so it must stay runnable.
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	var buf bytes.Buffer
+	if err := All(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
+		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"} {
+		if !strings.Contains(out, "### "+id+" ") {
+			t.Errorf("output missing experiment %s", id)
+		}
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("a figure-fidelity check failed:\n%s", out)
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Errorf("a coherence check failed:\n%s", out)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"}}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x", true)
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "### X — demo") {
+		t.Fatalf("missing header: %s", out)
+	}
+	if !strings.Contains(out, "2.5000") {
+		t.Fatalf("float formatting missing: %s", out)
+	}
+}

@@ -1,0 +1,64 @@
+// Package figures encodes the paper's running example: the 23-node chordal
+// graph of Figure 1, whose weighted clique intersection graph, clique
+// forest, local views and peeling step are illustrated in Figures 2–6.
+// The tests in this package and the E1–E3 benchmarks machine-check those
+// figures against the library's output.
+package figures
+
+import "repro/internal/graph"
+
+// Fig1CliqueNames maps the paper's clique labels C1..C15 to their vertex
+// sets, exactly as printed in Figure 2.
+var Fig1CliqueNames = map[string]graph.Set{
+	"C1":  graph.NewSet(1, 2, 3),
+	"C2":  graph.NewSet(2, 3, 4),
+	"C3":  graph.NewSet(4, 5, 6),
+	"C4":  graph.NewSet(5, 6, 7),
+	"C5":  graph.NewSet(2, 4, 8),
+	"C6":  graph.NewSet(8, 9, 10),
+	"C7":  graph.NewSet(9, 10, 11),
+	"C8":  graph.NewSet(11, 12, 13),
+	"C9":  graph.NewSet(12, 13, 14),
+	"C10": graph.NewSet(14, 15, 16),
+	"C11": graph.NewSet(15, 16, 19),
+	"C12": graph.NewSet(16, 17, 18),
+	"C13": graph.NewSet(19, 20, 21),
+	"C14": graph.NewSet(21, 22),
+	"C15": graph.NewSet(21, 23),
+}
+
+// Fig1 returns the chordal graph of Figure 1: the union of the cliques of
+// Figure 2 (each maximal clique contributes all its edges).
+func Fig1() *graph.Graph {
+	g := graph.New()
+	for v := 1; v <= 23; v++ {
+		g.AddNode(graph.ID(v))
+	}
+	for _, c := range Fig1CliqueNames {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				g.AddEdge(c[i], c[j])
+			}
+		}
+	}
+	return g
+}
+
+// Fig3Center is the node whose local view Figures 3 and 4 illustrate.
+const Fig3Center graph.ID = 10
+
+// Fig3Radius is the collection radius used in Figures 3 and 4.
+const Fig3Radius = 3
+
+// Fig4ViewCliques lists the clique labels that Figure 4 states appear in
+// node 10's local view: "the maximal cliques of G that contain at least
+// one node from Γ²[10]".
+var Fig4ViewCliques = []string{"C1", "C2", "C3", "C5", "C6", "C7", "C8", "C9"}
+
+// Fig5Path lists the clique labels of the internal path P = C6,...,C10
+// peeled in Figures 5 and 6.
+var Fig5Path = []string{"C6", "C7", "C8", "C9", "C10"}
+
+// Fig5PeeledNodes is U, the set of nodes u whose subtrees T(u) are
+// subpaths of P in Figure 5 (the non-black nodes).
+var Fig5PeeledNodes = graph.NewSet(9, 10, 11, 12, 13, 14)

@@ -1,0 +1,93 @@
+package figures
+
+import (
+	"testing"
+
+	"repro/internal/chordal"
+	"repro/internal/graph"
+)
+
+func TestFig1Basics(t *testing.T) {
+	g := Fig1()
+	if g.NumNodes() != 23 {
+		t.Fatalf("n = %d, want 23", g.NumNodes())
+	}
+	if !chordal.IsChordal(g) {
+		t.Fatal("Figure 1 graph must be chordal")
+	}
+	if comps := g.Components(); len(comps) != 1 {
+		t.Fatalf("Figure 1 graph must be connected, got %d components", len(comps))
+	}
+}
+
+func TestFig1CliquesAreMaximal(t *testing.T) {
+	g := Fig1()
+	for name, c := range Fig1CliqueNames {
+		if !g.IsClique(c) {
+			t.Fatalf("%s = %v is not a clique", name, c)
+		}
+		for _, v := range g.Nodes() {
+			if c.Contains(v) {
+				continue
+			}
+			all := true
+			for _, u := range c {
+				if !g.HasEdge(v, u) {
+					all = false
+					break
+				}
+			}
+			if all {
+				t.Fatalf("%s = %v is not maximal (extendable by %d)", name, c, v)
+			}
+		}
+	}
+}
+
+func TestFig1CliqueCountMatchesChordalToolkit(t *testing.T) {
+	g := Fig1()
+	cliques, err := chordal.MaximalCliques(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cliques) != len(Fig1CliqueNames) {
+		t.Fatalf("toolkit finds %d cliques, figure lists %d", len(cliques), len(Fig1CliqueNames))
+	}
+	for _, c := range cliques {
+		found := false
+		for _, want := range Fig1CliqueNames {
+			if c.Equal(want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("clique %v not in Figure 2's list", c)
+		}
+	}
+}
+
+func TestFig3BallContents(t *testing.T) {
+	g := Fig1()
+	// Figure 3: Γ²[10] = {2,4,8,9,10,11,12,13}.
+	ball2 := graph.NewSet(g.Ball(Fig3Center, 2)...)
+	want := graph.NewSet(2, 4, 8, 9, 10, 11, 12, 13)
+	if !ball2.Equal(want) {
+		t.Fatalf("Γ²[10] = %v, want %v", ball2, want)
+	}
+}
+
+func TestFig5PeeledNodesSubtreesInPath(t *testing.T) {
+	// Every node of Fig5PeeledNodes appears only in cliques of Fig5Path.
+	inPath := make(map[string]bool)
+	for _, name := range Fig5Path {
+		inPath[name] = true
+	}
+	for _, v := range Fig5PeeledNodes {
+		for name, c := range Fig1CliqueNames {
+			if c.Contains(v) && !inPath[name] {
+				t.Fatalf("node %d is in clique %s outside the Fig 5 path", v, name)
+			}
+		}
+	}
+}

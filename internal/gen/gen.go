@@ -1,0 +1,361 @@
+// Package gen builds the workloads used by the tests, examples, and
+// benchmarks: basic families (paths, cycles, trees, stars, caterpillars),
+// interval graphs from explicit or random interval models, random chordal
+// graphs via simplicial construction, k-trees, and Erdős–Rényi graphs as a
+// non-chordal control.
+//
+// Every randomized generator takes an explicit seed so workloads are
+// reproducible.
+package gen
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Path returns the path v0 - v1 - ... - v(n-1).
+func Path(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.ID(i))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(graph.ID(i), graph.ID(i+1))
+	}
+	return g
+}
+
+// Cycle returns the cycle on n nodes (n >= 3 for an actual cycle).
+func Cycle(n int) *graph.Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.AddEdge(graph.ID(n-1), 0)
+	}
+	return g
+}
+
+// Star returns the star with center 0 and leaves 1..n-1.
+func Star(n int) *graph.Graph {
+	g := graph.New()
+	g.AddNode(0)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, graph.ID(i))
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.ID(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(graph.ID(i), graph.ID(j))
+		}
+	}
+	return g
+}
+
+// Tree returns a random tree on n nodes: node i attaches to a uniformly
+// random earlier node.
+func Tree(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	if n <= 0 {
+		return g
+	}
+	g.AddNode(0)
+	for i := 1; i < n; i++ {
+		g.AddEdge(graph.ID(i), graph.ID(rng.Intn(i)))
+	}
+	return g
+}
+
+// Caterpillar returns a caterpillar tree: a spine path of the given length
+// with legs leaves attached to every spine node.
+func Caterpillar(spine, legs int) *graph.Graph {
+	g := Path(spine)
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			g.AddEdge(graph.ID(i), graph.ID(next))
+			next++
+		}
+	}
+	return g
+}
+
+// Interval is a closed interval [Lo, Hi] on the line, identified with a
+// graph node.
+type Interval struct {
+	Node   graph.ID
+	Lo, Hi float64
+}
+
+// FromIntervals returns the intersection graph of the given intervals.
+func FromIntervals(ivs []Interval) *graph.Graph {
+	g := graph.New()
+	for _, iv := range ivs {
+		g.AddNode(iv.Node)
+	}
+	sorted := make([]Interval, len(ivs))
+	copy(sorted, ivs)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Lo != sorted[j].Lo {
+			return sorted[i].Lo < sorted[j].Lo
+		}
+		return sorted[i].Node < sorted[j].Node
+	})
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j].Lo > sorted[i].Hi {
+				break
+			}
+			g.AddEdge(sorted[i].Node, sorted[j].Node)
+		}
+	}
+	return g
+}
+
+// RandomIntervals samples n intervals with left endpoints uniform in
+// [0, span) and lengths uniform in (0, maxLen].
+func RandomIntervals(n int, span, maxLen float64, seed int64) []Interval {
+	rng := rand.New(rand.NewSource(seed))
+	ivs := make([]Interval, n)
+	for i := range ivs {
+		lo := rng.Float64() * span
+		ivs[i] = Interval{Node: graph.ID(i), Lo: lo, Hi: lo + rng.Float64()*maxLen}
+	}
+	return ivs
+}
+
+// RandomInterval returns a random interval graph on n nodes. Density grows
+// with maxLen/span.
+func RandomInterval(n int, span, maxLen float64, seed int64) *graph.Graph {
+	return FromIntervals(RandomIntervals(n, span, maxLen, seed))
+}
+
+// UnitIntervals samples n unit-length intervals with left endpoints uniform
+// in [0, span).
+func UnitIntervals(n int, span float64, seed int64) []Interval {
+	rng := rand.New(rand.NewSource(seed))
+	ivs := make([]Interval, n)
+	for i := range ivs {
+		lo := rng.Float64() * span
+		ivs[i] = Interval{Node: graph.ID(i), Lo: lo, Hi: lo + 1}
+	}
+	return ivs
+}
+
+// ChordalOpts controls RandomChordal.
+type ChordalOpts struct {
+	// MaxCliqueSize bounds the size of the clique each new node attaches
+	// to (and hence ω(G) ≤ MaxCliqueSize+1). Values < 1 mean 1.
+	MaxCliqueSize int
+	// AttachFull, in [0,1], is the probability that a new node attaches to
+	// a full random maximal clique rather than a random subset of one.
+	// Larger values produce denser graphs.
+	AttachFull float64
+}
+
+// RandomChordal returns a random connected chordal graph on n nodes using
+// incremental simplicial construction: node i attaches to a clique subset
+// of the current graph, so the reverse insertion order is a perfect
+// elimination ordering and the result is chordal by construction.
+func RandomChordal(n int, opts ChordalOpts, seed int64) *graph.Graph {
+	if opts.MaxCliqueSize < 1 {
+		opts.MaxCliqueSize = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	if n <= 0 {
+		return g
+	}
+	g.AddNode(0)
+	// cliques tracks a growing list of cliques new nodes may attach to.
+	cliques := []graph.Set{graph.NewSet(0)}
+	for i := 1; i < n; i++ {
+		v := graph.ID(i)
+		base := cliques[rng.Intn(len(cliques))]
+		var attach graph.Set
+		if rng.Float64() < opts.AttachFull || len(base) == 1 {
+			attach = base.Clone()
+		} else {
+			// Random nonempty subset of base.
+			for _, u := range base {
+				if rng.Float64() < 0.5 {
+					attach = append(attach, u)
+				}
+			}
+			if len(attach) == 0 {
+				attach = graph.Set{base[rng.Intn(len(base))]}
+			}
+		}
+		if len(attach) > opts.MaxCliqueSize {
+			attach = attach[:opts.MaxCliqueSize]
+		}
+		g.AddNode(v)
+		for _, u := range attach {
+			g.AddEdge(v, u)
+		}
+		cliques = append(cliques, graph.NewSet(append(attach.Clone(), v)...))
+	}
+	return g
+}
+
+// KTree returns a random k-tree on n nodes (n >= k+1): start from K_{k+1},
+// then each new node attaches to a random existing k-clique. k-trees are
+// chordal with ω = k+1.
+func KTree(n, k int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	if n < k+1 {
+		return Complete(n)
+	}
+	g := Complete(k + 1)
+	// Seed k-cliques: all k-subsets of the initial K_{k+1}.
+	var cliques []graph.Set
+	initial := make([]graph.ID, k+1)
+	for i := range initial {
+		initial[i] = graph.ID(i)
+	}
+	for skip := 0; skip <= k; skip++ {
+		var c graph.Set
+		for i, v := range initial {
+			if i != skip {
+				c = append(c, v)
+			}
+		}
+		cliques = append(cliques, c)
+	}
+	for i := k + 1; i < n; i++ {
+		v := graph.ID(i)
+		base := cliques[rng.Intn(len(cliques))]
+		g.AddNode(v)
+		for _, u := range base {
+			g.AddEdge(v, u)
+		}
+		// New k-cliques: base with one vertex swapped for v.
+		for skip := range base {
+			c := make(graph.Set, 0, k)
+			for j, u := range base {
+				if j != skip {
+					c = append(c, u)
+				}
+			}
+			c = graph.NewSet(append(c, v)...)
+			cliques = append(cliques, c)
+		}
+	}
+	return g
+}
+
+// HubTree builds a chordal graph shaped like a complete binary tree of
+// K4 hubs whose tree edges are chains of the given length. Hubs are
+// forced to be degree-3 clique-forest vertices by weight-3 intersections
+// (each chain head shares three nodes with its hub), so the chains are
+// exactly the forest's internal/pendant paths. Pendant-only peeling must
+// work inward one tree level at a time, while internal-path peeling
+// removes every chain at once — the workload behind the E4 ablation.
+func HubTree(depth, chainLen int) *graph.Graph {
+	g := graph.New()
+	next := graph.ID(0)
+	alloc := func() graph.ID {
+		v := next
+		next++
+		return v
+	}
+	// newHub creates a K4 and returns its three arm sockets, each a
+	// distinct 3-subset of the hub.
+	type hub struct {
+		sockets [3][3]graph.ID
+		used    int
+	}
+	newHub := func() *hub {
+		a, b, c, d := alloc(), alloc(), alloc(), alloc()
+		for _, e := range [][2]graph.ID{{a, b}, {a, c}, {a, d}, {b, c}, {b, d}, {c, d}} {
+			g.AddEdge(e[0], e[1])
+		}
+		return &hub{sockets: [3][3]graph.ID{{a, b, c}, {a, b, d}, {a, c, d}}}
+	}
+	// chain connects two sockets (or dangles from one when to == nil).
+	connect := func(from *hub, to *hub) {
+		s := from.sockets[from.used]
+		from.used++
+		prev := alloc()
+		for _, u := range s {
+			g.AddEdge(prev, u)
+		}
+		for i := 1; i < chainLen; i++ {
+			cur := alloc()
+			g.AddEdge(prev, cur)
+			prev = cur
+		}
+		if to != nil {
+			t := to.sockets[to.used]
+			to.used++
+			for _, u := range t {
+				g.AddEdge(prev, u)
+			}
+		}
+	}
+	var build func(level int) *hub
+	build = func(level int) *hub {
+		h := newHub()
+		if level < depth {
+			left := build(level + 1)
+			connect(h, left)
+			right := build(level + 1)
+			connect(h, right)
+		}
+		return h
+	}
+	root := build(0)
+	connect(root, nil) // a dangling chain keeps the root binary-free too
+	return g
+}
+
+// GNP returns an Erdős–Rényi G(n, p) graph — generally not chordal; used
+// as a negative control in tests.
+func GNP(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.ID(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(graph.ID(i), graph.ID(j))
+			}
+		}
+	}
+	return g
+}
+
+// RelabelRandom returns an isomorphic copy of g with node IDs permuted
+// uniformly at random (over the same ID set). The distributed algorithms'
+// tie-breaking depends on IDs, so tests use this to check that correctness
+// does not depend on any particular labelling.
+func RelabelRandom(g *graph.Graph, seed int64) (*graph.Graph, map[graph.ID]graph.ID) {
+	rng := rand.New(rand.NewSource(seed))
+	nodes := g.Nodes()
+	perm := make([]graph.ID, len(nodes))
+	copy(perm, nodes)
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	mapping := make(map[graph.ID]graph.ID, len(nodes))
+	for i, v := range nodes {
+		mapping[v] = perm[i]
+	}
+	out := graph.New()
+	for _, v := range nodes {
+		out.AddNode(mapping[v])
+	}
+	for _, e := range g.Edges() {
+		out.AddEdge(mapping[e[0]], mapping[e[1]])
+	}
+	return out, mapping
+}

@@ -1,0 +1,33 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders g in Graphviz DOT format. Optional per-node labels
+// replace the default ID labels; nil entries fall back to the ID.
+func (g *Graph) WriteDOT(w io.Writer, name string, labels map[ID]string) error {
+	if name == "" {
+		name = "G"
+	}
+	if _, err := fmt.Fprintf(w, "graph %s {\n", name); err != nil {
+		return err
+	}
+	for _, v := range g.Nodes() {
+		label, ok := labels[v]
+		if !ok {
+			label = fmt.Sprint(v)
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q];\n", v, label); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "  n%d -- n%d;\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON checks the graph parser never panics and that every graph
+// it accepts survives a round trip.
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"nodes":[1,2],"edges":[[1,2]]}`))
+	f.Add([]byte(`{"edges":[[5,7],[7,9]]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"edges":[[1,1]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatalf("serialize accepted graph: %v", err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("reparse: %v", err)
+		}
+		if !g.Equal(back) {
+			t.Fatalf("round trip changed graph")
+		}
+	})
+}
+
+// FuzzGraphOps drives basic operations from a fuzzed edge list.
+func FuzzGraphOps(f *testing.F) {
+	f.Add([]byte{1, 2, 2, 3, 3, 1})
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := New()
+		for i := 0; i+1 < len(data); i += 2 {
+			g.AddEdge(ID(data[i]), ID(data[i+1]))
+		}
+		n := g.NumNodes()
+		comps := g.Components()
+		total := 0
+		for _, c := range comps {
+			total += len(c)
+		}
+		if total != n {
+			t.Fatalf("components cover %d of %d nodes", total, n)
+		}
+		if len(g.Nodes()) != n {
+			t.Fatal("Nodes length mismatch")
+		}
+		for _, v := range g.Nodes() {
+			ball := g.Ball(v, 2)
+			if len(ball) == 0 || ball[0] > v && !contains(ball, v) {
+				t.Fatal("ball must contain its center")
+			}
+		}
+	})
+}
+
+func contains(s []ID, v ID) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

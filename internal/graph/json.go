@@ -1,0 +1,29 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the on-disk representation used by the CLI tools.
+type jsonGraph struct {
+	Nodes []ID    `json:"nodes"`
+	Edges [][2]ID `json:"edges"`
+}
+
+// WriteJSON serializes g as {"nodes": [...], "edges": [[u,v], ...]}.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(jsonGraph{Nodes: g.Nodes(), Edges: g.Edges()})
+}
+
+// ReadJSON parses a graph from the WriteJSON format. Nodes referenced
+// only by edges are added implicitly.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("decode graph: %w", err)
+	}
+	return FromEdges(jg.Nodes, jg.Edges), nil
+}

@@ -1,0 +1,101 @@
+package interval
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestRecognizeRandomIntervalGraphs(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := gen.RandomInterval(60, 18, 3, seed)
+		path, model, err := Recognize(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := ValidCliquePath(g, path); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// The reconstructed model realizes exactly g.
+		if !gen.FromIntervals(model).Equal(g) {
+			t.Fatalf("seed %d: model does not realize the graph", seed)
+		}
+	}
+}
+
+func TestRecognizeBasicFamilies(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		g    *graph.Graph
+		want bool
+	}{
+		{"path", gen.Path(15), true},
+		{"star", gen.Star(8), true},
+		{"complete", gen.Complete(7), true},
+		{"caterpillar", gen.Caterpillar(6, 2), true},
+		{"single", gen.Path(1), true},
+		{"C4", gen.Cycle(4), false},
+		{"C6", gen.Cycle(6), false},
+	} {
+		if got := IsInterval(c.g); got != c.want {
+			t.Errorf("%s: IsInterval = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRecognizeRejectsSubdividedClaw(t *testing.T) {
+	// The subdivided claw is chordal (a tree) but not interval.
+	g := graph.New()
+	for _, e := range [][2]graph.ID{{0, 1}, {1, 2}, {0, 3}, {3, 4}, {0, 5}, {5, 6}} {
+		g.AddEdge(e[0], e[1])
+	}
+	if IsInterval(g) {
+		t.Fatal("subdivided claw accepted as interval")
+	}
+}
+
+func TestRecognizeEdgeless(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 5; i++ {
+		g.AddNode(graph.ID(i))
+	}
+	path, model, err := Recognize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 5 || len(model) != 5 {
+		t.Fatalf("edgeless: %d cliques, %d intervals", len(path), len(model))
+	}
+}
+
+func TestRecognizeUnitIntervals(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := gen.FromIntervals(gen.UnitIntervals(40, 20, seed))
+		if !IsInterval(g) {
+			t.Fatalf("seed %d: unit interval graph rejected", seed)
+		}
+	}
+}
+
+func TestRecognizeMatchesModelFreePipeline(t *testing.T) {
+	// Recognized model feeds the coloring pipeline end to end.
+	g := gen.RandomInterval(50, 14, 3, 3)
+	_, model, err := Recognize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := CliquePathFromModel(model)
+	if err := ValidCliquePath(g, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecognizeHubTreesNotInterval(t *testing.T) {
+	// Hub trees have degree-3 clique-forest vertices: chordal, not
+	// interval.
+	g := gen.HubTree(2, 6)
+	if IsInterval(g) {
+		t.Fatal("hub tree accepted as interval")
+	}
+}

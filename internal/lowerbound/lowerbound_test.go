@@ -1,0 +1,93 @@
+package lowerbound
+
+import (
+	"testing"
+)
+
+func TestAnchorMISIndependentAndNonEmpty(t *testing.T) {
+	for _, r := range []int{2, 4, 8} {
+		for seed := int64(0); seed < 5; seed++ {
+			res, err := AnchorMIS(300, r, seed)
+			if err != nil {
+				t.Fatalf("r=%d seed=%d: %v", r, seed, err)
+			}
+			if len(res.Set) == 0 {
+				t.Fatalf("r=%d seed=%d: empty set", r, seed)
+			}
+			if res.Rounds <= 0 {
+				t.Fatalf("r=%d seed=%d: no rounds reported", r, seed)
+			}
+		}
+	}
+}
+
+func TestAnchorMISRatioImprovesWithR(t *testing.T) {
+	r2, _, err := MeasuredRatio(3000, 2, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r32, _, err := MeasuredRatio(3000, 32, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r32 >= r2 {
+		t.Fatalf("ratio did not improve: r=2 → %v, r=32 → %v", r2, r32)
+	}
+	if r32 > 1.1 {
+		t.Fatalf("r=32 ratio %v too far from 1", r32)
+	}
+}
+
+func TestMeasuredRatioAboveTheoremBound(t *testing.T) {
+	// Theorem 9: no r-round algorithm beats 1/(1 − 2/(8r+12)); our
+	// concrete algorithm at matching round budgets must respect it.
+	for _, r := range []int{2, 4, 8} {
+		measured, rounds, err := MeasuredRatio(4000, r, 8, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound := TheoremBound(int(rounds)); measured < bound-0.01 {
+			t.Fatalf("r=%d: measured ratio %v below the bound %v at its round budget", r, measured, bound)
+		}
+	}
+}
+
+func TestRatioScalesLikeOneOverR(t *testing.T) {
+	// ε(r) = ratio−1 should shrink roughly linearly in 1/r: ε(4)/ε(16)
+	// should be in the ballpark of 4.
+	e4, _, err := MeasuredRatio(6000, 4, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e16, _, err := MeasuredRatio(6000, 16, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factor := (e4 - 1) / (e16 - 1)
+	if factor < 2 || factor > 9 {
+		t.Fatalf("ε(4)/ε(16) = %v, expected ≈ 4 (Θ(1/r) scaling)", factor)
+	}
+}
+
+func TestTheoremBoundShape(t *testing.T) {
+	prev := TheoremBound(1)
+	for _, r := range []int{2, 4, 8, 16, 64} {
+		b := TheoremBound(r)
+		if b >= prev {
+			t.Fatalf("bound not decreasing at r=%d", r)
+		}
+		prev = b
+	}
+	if prev < 1 || prev > 1.01 {
+		t.Fatalf("bound at r=64 should be just above 1, got %v", prev)
+	}
+}
+
+func TestAnchorMISErrors(t *testing.T) {
+	if _, err := AnchorMIS(0, 2, 1); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := AnchorMIS(10, 1, 1); err == nil {
+		t.Fatal("expected error for r<2")
+	}
+}

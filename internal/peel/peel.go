@@ -1,0 +1,170 @@
+// Package peel implements the paper's peeling process (Algorithm 1 step 1
+// and Algorithm 6 step 1/3): iteratively removing, from the clique forest
+// of the remaining graph, all maximal pendant paths plus the maximal
+// internal paths that pass a threshold (diameter for coloring,
+// independence number in the last MIS iteration), partitioning the node
+// set into layers whose induced subgraphs are interval graphs
+// (Lemmas 3–7).
+package peel
+
+import (
+	"fmt"
+
+	"repro/internal/cliquetree"
+	"repro/internal/graph"
+	"repro/internal/interval"
+)
+
+// PathRecord captures one peeled path of L_i with everything later phases
+// need: its cliques in path order, its classification, the attachment
+// cliques in the surrounding forest (whose nodes land in higher layers and
+// are the only possible coloring conflicts, Lemma 8), and its measured
+// diameter and independence number.
+type PathRecord struct {
+	Cliques []graph.Set
+	Kind    cliquetree.PathKind
+	Nodes   graph.Set // W: nodes whose subtree is a subpath of this path
+	// Diameter is the path's diameter in the graph current at peeling
+	// time, measured exactly up to the peeling threshold and reported as
+	// the threshold when it is at least that large (the decision only
+	// needs the comparison).
+	Diameter int
+	Alpha    int // α(G[V_P]) of the path's full vertex set
+	// AttachStart/AttachEnd are the forest vertices adjacent to the
+	// path's ends, nil when absent. Pendant paths have at most AttachEnd.
+	AttachStart, AttachEnd graph.Set
+}
+
+// Layer is one peeling iteration's result.
+type Layer struct {
+	Index int // 1-based iteration number
+	Paths []PathRecord
+	Nodes graph.Set // V_i: union of path node sets
+}
+
+// Result is the outcome of the peeling process.
+type Result struct {
+	Layers []Layer
+	// Remaining holds U_{last+1}: nodes never peeled (empty for a full
+	// run, usually nonempty for a truncated MIS-style run).
+	Remaining graph.Set
+	// Forests[i] is the clique forest T_{i+1} of G[U_{i+1}] at the start
+	// of iteration i+1 (Forests[0] = T_1 = the input's forest).
+	Forests []*cliquetree.Forest
+}
+
+// Options configures the peeling process.
+type Options struct {
+	// InternalDiameter peels maximal internal paths with diameter at
+	// least this value (Algorithm 1 uses 3k; Algorithm 6 uses 2d+3).
+	// Zero or negative means pendant paths only.
+	InternalDiameter int
+	// MaxIterations truncates the process (Algorithm 6 runs Θ(log(1/ε))
+	// iterations); zero means run until the forest is exhausted.
+	MaxIterations int
+	// FinalAlpha, when positive and MaxIterations > 0, switches the last
+	// iteration's internal-path rule to "independence number at least
+	// FinalAlpha" (Algorithm 6's last iteration).
+	FinalAlpha int
+}
+
+// Run executes the peeling process on a chordal graph.
+func Run(g *graph.Graph, opts Options) (*Result, error) {
+	res := &Result{}
+	remaining := g.Clone()
+	iteration := 0
+	for remaining.NumNodes() > 0 {
+		iteration++
+		if opts.MaxIterations > 0 && iteration > opts.MaxIterations {
+			break
+		}
+		forest, err := cliquetree.New(remaining)
+		if err != nil {
+			return nil, fmt.Errorf("peel iteration %d: %w", iteration, err)
+		}
+		res.Forests = append(res.Forests, forest)
+		last := opts.MaxIterations > 0 && iteration == opts.MaxIterations
+		layer, err := peelOnce(remaining, forest, iteration, opts, last)
+		if err != nil {
+			return nil, err
+		}
+		if len(layer.Nodes) == 0 && !last {
+			// A nonempty forest always has pendant paths, so this cannot
+			// happen; guard against looping forever.
+			return nil, fmt.Errorf("peel iteration %d removed nothing", iteration)
+		}
+		res.Layers = append(res.Layers, *layer)
+		remaining.RemoveNodes(layer.Nodes)
+	}
+	res.Remaining = graph.NewSet(remaining.Nodes()...)
+	return res, nil
+}
+
+func peelOnce(current *graph.Graph, forest *cliquetree.Forest, iteration int, opts Options, last bool) (*Layer, error) {
+	layer := &Layer{Index: iteration}
+	for _, p := range forest.MaximalBinaryPaths() {
+		rec := PathRecord{Kind: p.Kind}
+		for _, ci := range p.Cliques {
+			rec.Cliques = append(rec.Cliques, forest.Clique(ci))
+		}
+		if p.AttachStart != -1 {
+			rec.AttachStart = forest.Clique(p.AttachStart)
+		}
+		if p.AttachEnd != -1 {
+			rec.AttachEnd = forest.Clique(p.AttachEnd)
+		}
+		diamCap := opts.InternalDiameter
+		if diamCap < 8 {
+			diamCap = 8
+		}
+		rec.Diameter = forest.PathDiameterCapped(current, p, diamCap)
+		alpha, err := forest.PathIndependenceNumber(current, p)
+		if err != nil {
+			return nil, fmt.Errorf("peel iteration %d: %w", iteration, err)
+		}
+		rec.Alpha = alpha
+
+		take := false
+		switch p.Kind {
+		case cliquetree.Pendant:
+			take = true
+		case cliquetree.Internal:
+			if last && opts.FinalAlpha > 0 {
+				take = rec.Alpha >= opts.FinalAlpha
+			} else {
+				take = opts.InternalDiameter > 0 && rec.Diameter >= opts.InternalDiameter
+			}
+		}
+		if !take {
+			continue
+		}
+		rec.Nodes = forest.SubpathNodes(p)
+		layer.Paths = append(layer.Paths, rec)
+		layer.Nodes = layer.Nodes.Union(rec.Nodes)
+	}
+	return layer, nil
+}
+
+// LayerCliquePath restricts a peeled path's cliques to its node set W,
+// yielding the clique path (consecutive arrangement of maximal cliques)
+// of the interval graph G[W]. Empty restrictions and restrictions
+// subsumed by a neighbor are dropped.
+func LayerCliquePath(rec PathRecord) []graph.Set {
+	w := make(map[graph.ID]bool, len(rec.Nodes))
+	for _, v := range rec.Nodes {
+		w[v] = true
+	}
+	return interval.RestrictCliquePath(rec.Cliques, func(v graph.ID) bool { return w[v] })
+}
+
+// NodeLayers flattens a result into a per-node layer index (1-based).
+// Remaining nodes are absent from the map.
+func (r *Result) NodeLayers() map[graph.ID]int {
+	out := make(map[graph.ID]int)
+	for _, layer := range r.Layers {
+		for _, v := range layer.Nodes {
+			out[v] = layer.Index
+		}
+	}
+	return out
+}

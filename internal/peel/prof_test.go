@@ -1,0 +1,17 @@
+package peel
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func BenchmarkPeelLarge(b *testing.B) {
+	g := gen.RandomChordal(16384, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.3}, 16384)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, Options{InternalDiameter: 12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func triangle() *graph.Graph {
+	return graph.FromEdges(nil, [][2]graph.ID{{1, 2}, {2, 3}, {1, 3}})
+}
+
+func TestColoringChecker(t *testing.T) {
+	g := triangle()
+	good := map[graph.ID]int{1: 1, 2: 2, 3: 3}
+	used, err := Coloring(g, good)
+	if err != nil || used != 3 {
+		t.Fatalf("good coloring rejected: %v, used %d", err, used)
+	}
+	for name, bad := range map[string]map[graph.ID]int{
+		"missing":      {1: 1, 2: 2},
+		"non-positive": {1: 0, 2: 2, 3: 3},
+		"conflict":     {1: 1, 2: 1, 3: 2},
+	} {
+		if _, err := Coloring(g, bad); err == nil {
+			t.Errorf("%s coloring accepted", name)
+		}
+	}
+}
+
+func TestIndependentSetChecker(t *testing.T) {
+	g := triangle()
+	if err := IndependentSet(g, graph.NewSet(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := IndependentSet(g, graph.NewSet(1, 2)); err == nil {
+		t.Fatal("adjacent pair accepted")
+	}
+	if err := IndependentSet(g, graph.NewSet(99)); err == nil {
+		t.Fatal("foreign node accepted")
+	}
+	if err := IndependentSet(g, nil); err != nil {
+		t.Fatal("empty set rejected")
+	}
+}
+
+func TestMaximalIndependentSetChecker(t *testing.T) {
+	g := graph.FromEdges(nil, [][2]graph.ID{{1, 2}, {2, 3}})
+	if err := MaximalIndependentSet(g, graph.NewSet(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := MaximalIndependentSet(g, graph.NewSet(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := MaximalIndependentSet(g, graph.NewSet(1)); err == nil {
+		t.Fatal("non-maximal set accepted")
+	}
+	if err := MaximalIndependentSet(g, graph.NewSet(1, 2)); err == nil {
+		t.Fatal("dependent set accepted")
+	}
+}
+
+func TestBruteForceAlpha(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int
+	}{
+		{triangle(), 1},
+		{graph.FromEdges(nil, [][2]graph.ID{{1, 2}, {3, 4}}), 2},
+		{graph.FromEdges([]graph.ID{7}, nil), 1},
+		{graph.New(), 0},
+	}
+	for i, c := range cases {
+		got, err := BruteForceAlpha(c.g)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != c.want {
+			t.Fatalf("case %d: α = %d, want %d", i, got, c.want)
+		}
+	}
+	// Size guard.
+	big := graph.New()
+	for i := 0; i < 31; i++ {
+		big.AddNode(graph.ID(i))
+	}
+	if _, err := BruteForceAlpha(big); err == nil {
+		t.Fatal("oversized graph accepted")
+	}
+}
+
+func TestBruteForceChromatic(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int
+	}{
+		{triangle(), 3},
+		{graph.FromEdges(nil, [][2]graph.ID{{1, 2}, {2, 3}}), 2},
+		{graph.FromEdges([]graph.ID{7}, nil), 1},
+		{graph.New(), 0},
+		// C5 needs 3 colors.
+		{graph.FromEdges(nil, [][2]graph.ID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}), 3},
+	}
+	for i, c := range cases {
+		got, err := BruteForceChromatic(c.g)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != c.want {
+			t.Fatalf("case %d: χ = %d, want %d", i, got, c.want)
+		}
+	}
+	big := graph.New()
+	for i := 0; i < 21; i++ {
+		big.AddNode(graph.ID(i))
+	}
+	if _, err := BruteForceChromatic(big); err == nil {
+		t.Fatal("oversized graph accepted")
+	}
+}

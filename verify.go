@@ -1,0 +1,14 @@
+package chordal
+
+import (
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+func verifyColoring(g *graph.Graph, colors map[graph.ID]int) (int, error) {
+	return verify.Coloring(g, colors)
+}
+
+func verifyIndependentSet(g *graph.Graph, is graph.Set) error {
+	return verify.IndependentSet(g, is)
+}
