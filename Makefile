@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test vet race bench-smoke bench experiments
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector gate for the concurrent simulation core.
+race:
+	$(GO) test -race ./internal/dist ./internal/core
+
+# Quick-mode benchmark smoke: one iteration of the substrate and
+# experiment benchmarks, with allocation reporting. Finishes in minutes.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineRound|BenchmarkFloodRadius|BenchmarkFloodN100k|BenchmarkFloodBallCollection|BenchmarkDistributedPruneN256|BenchmarkE[0-9]+_' -benchtime 1x -benchmem .
+
+# Full benchmark sweep (slow).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Full experiment tables as recorded in EXPERIMENTS.md (slow).
+experiments:
+	$(GO) run ./cmd/experiments

@@ -1,6 +1,7 @@
 package chordal
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/exp"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/peel"
 )
 
@@ -156,6 +158,88 @@ func BenchmarkPeelingN4096(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := peel.Run(g, peel.Options{InternalDiameter: 12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// broadcastProtocol is a minimal fixed-round protocol for engine
+// benchmarks: every node broadcasts its ID each round and sums its inbox,
+// so the measured cost is the engine's (scheduling, delivery, inbox
+// reuse) rather than the protocol's.
+type broadcastProtocol struct {
+	id            int64
+	rounds, limit int
+	sum           int64
+}
+
+func (p *broadcastProtocol) Init(ctx *dist.Context) { ctx.Broadcast(p.id) }
+func (p *broadcastProtocol) Round(ctx *dist.Context, inbox []dist.Message) {
+	if p.rounds >= p.limit {
+		return
+	}
+	p.rounds++
+	for _, m := range inbox {
+		p.sum += m.Payload.(int64)
+	}
+	if p.rounds < p.limit {
+		ctx.Broadcast(p.id)
+	}
+}
+func (p *broadcastProtocol) Done() bool  { return p.rounds >= p.limit }
+func (p *broadcastProtocol) Output() any { return p.sum }
+
+// BenchmarkEngineRound measures the engine's per-round overhead at
+// increasing scale; ns/op is a full 8-round run on the given graph, with
+// the snapshot taken outside the timer.
+func BenchmarkEngineRound(b *testing.B) {
+	const rounds = 8
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := RandomChordalGraph(n, 4, 10)
+			ix := graph.NewIndexed(g)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := dist.NewEngineIndexed(ix, func(v graph.ID) dist.Protocol {
+					return &broadcastProtocol{id: int64(v), limit: rounds}
+				})
+				if _, err := eng.Run(rounds + 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFloodRadius sweeps the knowledge radius at n=1000: ball sizes
+// (and so flood volume) grow rapidly with the radius until they saturate
+// at the component size.
+func BenchmarkFloodRadius(b *testing.B) {
+	g := RandomChordalGraph(1000, 4, 7)
+	for _, radius := range []int{2, 5, 10, 20} {
+		b.Run(fmt.Sprintf("r=%d", radius), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := dist.CollectBalls(g, radius, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFloodN100k is the scale target: full-information flooding on a
+// 10^5-node chordal graph (map-dedup path, since n exceeds the bitmap
+// threshold). The graph is a random tree — chordal, bounded degree — so
+// radius-4 balls stay small; on hub-heavy generators full-information
+// flooding inherently moves Σdeg² records and is not a 1x-mode workload.
+func BenchmarkFloodN100k(b *testing.B) {
+	g := gen.Tree(100000, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dist.CollectBalls(g, 4, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -69,6 +69,10 @@ func DistributedPruneSpec(g *graph.Graph, spec PruneSpec) (*PruneOutcome, error)
 		Layer:  make(map[graph.ID]int, g.NumNodes()),
 		Parent: make(map[graph.ID]graph.ID),
 	}
+	// The communication graph never changes across iterations: snapshot it
+	// once and reuse the snapshot for every flood.
+	ix := graph.NewIndexed(g)
+	nodes := ix.IDs()
 	for iteration := 1; len(out.Layer) < g.NumNodes(); iteration++ {
 		if spec.MaxIterations > 0 && iteration > spec.MaxIterations {
 			break
@@ -82,7 +86,7 @@ func DistributedPruneSpec(g *graph.Graph, spec PruneSpec) (*PruneOutcome, error)
 		for v, l := range out.Layer {
 			notes[v] = l
 		}
-		know, stats, err := dist.CollectBallsStats(g, spec.Radius, notes)
+		know, stats, err := dist.CollectBallsIndexed(ix, spec.Radius, notes)
 		if err != nil {
 			return nil, err
 		}
@@ -97,22 +101,42 @@ func DistributedPruneSpec(g *graph.Graph, spec PruneSpec) (*PruneOutcome, error)
 		if last && spec.FinalAlpha > 0 {
 			rule.alphaThreshold = spec.FinalAlpha
 		}
+		undecided := func(u graph.ID) bool {
+			_, done := out.Layer[u]
+			return !done
+		}
+		// G_i, the global remaining graph, and the iteration-wide clique
+		// cache over it. Each node still decides from its own ball alone;
+		// the cache only shares the φ(u)/T(u) computations that every ball
+		// trusting u performs identically (see cliqueCache).
+		var undecidedAll []graph.ID
+		for _, v := range nodes {
+			if undecided(v) {
+				undecidedAll = append(undecidedAll, v)
+			}
+		}
+		gi := g.InducedSubgraph(undecidedAll)
+		var cache *cliqueCache
+		if spec.Radius >= 2 {
+			cache = newCliqueCache(gi)
+		}
 		decided := make(map[graph.ID]graph.ID) // node -> parent (or -1)
-		for _, v := range g.Nodes() {
-			if _, done := out.Layer[v]; done {
+		for _, v := range nodes {
+			if !undecided(v) {
 				continue
 			}
-			ball := know[v].BallGraph(spec.Radius)
-			// Restrict to the still-undecided nodes: the local picture of
-			// G_i (each node learned the layers via the flood notes).
-			var undecided []graph.ID
-			for _, u := range ball.Nodes() {
-				if _, done := out.Layer[u]; !done {
-					undecided = append(undecided, u)
-				}
+			// The node's local picture of G_i: its ball restricted to the
+			// still-undecided nodes (each node learned the layers via the
+			// flood notes). When the ball provably covers v's entire
+			// component, that picture IS the component's share of G_i, so
+			// the shared graph substitutes for a per-node copy.
+			var ballGi *graph.Graph
+			if cache != nil && know[v].CoversComponent() {
+				ballGi = gi
+			} else {
+				ballGi = know[v].FilteredBallGraph(spec.Radius, undecided)
 			}
-			ballGi := ball.InducedSubgraph(undecided)
-			peelMe, parent, err := decideNodeRule(ballGi, v, rule, spec.Radius)
+			peelMe, parent, err := decideNodeRule(ballGi, v, rule, spec.Radius, cache)
 			if err != nil {
 				return nil, fmt.Errorf("iteration %d node %d: %w", iteration, v, err)
 			}
@@ -140,48 +164,111 @@ type decideRule struct {
 	parentHorizon  int // parent adoption distance (k+3)
 }
 
-// lazyView incrementally reconstructs the clique forest of the ball graph
-// around a center node, expanding T(u) only for the members of cliques the
-// walk actually visits (Section 3 machinery, computed on demand).
-type lazyView struct {
-	g       *graph.Graph
-	distV   map[graph.ID]int
-	horizon int
-
-	cliqueIdx map[string]int
-	cliques   []graph.Set
-	adj       map[int]map[int]bool
-	ensured   map[graph.ID]bool
-	phi       map[graph.ID][]int
+// cliqueCache shares the per-node Section 3 computations — φ(u), the
+// maximal cliques containing u, and T(u), the MWSF of W_G restricted to
+// φ(u) (Lemma 2) — across all centers of one pruning iteration. Both
+// depend only on G_i[Γ[u]] (MaximalCliquesContaining computes from the
+// closed neighborhood; the forest restriction is a function of φ(u)
+// alone), and every center whose ball trusts u sees exactly that
+// neighborhood, so computing them once on G_i is bit-for-bit equivalent
+// to recomputing them inside each ball. Cliques are interned to integer
+// ids so per-center views dedup by id instead of hashing members.
+type cliqueCache struct {
+	gi    *graph.Graph
+	idx   map[string]int
+	views map[graph.ID]*nodeCliques
 }
 
-func newLazyView(ballGi *graph.Graph, center graph.ID, horizon int) *lazyView {
-	return &lazyView{
-		g:         ballGi,
-		distV:     ballGi.BFSDistances(center),
-		horizon:   horizon,
-		cliqueIdx: make(map[string]int),
-		adj:       make(map[int]map[int]bool),
-		ensured:   make(map[graph.ID]bool),
-		phi:       make(map[graph.ID][]int),
+// nodeCliques is one node's cached share: φ(u) in canonical order, the
+// interned id of each clique, and T(u) as index pairs into phi.
+type nodeCliques struct {
+	phi   []graph.Set
+	ids   []int
+	edges [][2]int
+}
+
+func newCliqueCache(gi *graph.Graph) *cliqueCache {
+	return &cliqueCache{
+		gi:    gi,
+		idx:   make(map[string]int),
+		views: make(map[graph.ID]*nodeCliques),
 	}
 }
 
-func (lv *lazyView) keyOf(c graph.Set) string {
+func (cc *cliqueCache) intern(c graph.Set) int {
 	b := make([]byte, 0, len(c)*4)
 	for _, v := range c {
 		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
-	return string(b)
+	key := string(b)
+	if i, ok := cc.idx[key]; ok {
+		return i
+	}
+	i := len(cc.idx)
+	cc.idx[key] = i
+	return i
 }
 
-func (lv *lazyView) addClique(c graph.Set) int {
-	key := lv.keyOf(c)
-	if i, ok := lv.cliqueIdx[key]; ok {
+func (cc *cliqueCache) node(u graph.ID) (*nodeCliques, error) {
+	if nv, ok := cc.views[u]; ok {
+		return nv, nil
+	}
+	phi, err := cliquetree.MaximalCliquesContaining(cc.gi, u)
+	if err != nil {
+		return nil, err
+	}
+	nv := &nodeCliques{phi: phi, ids: make([]int, len(phi))}
+	for i, c := range phi {
+		nv.ids[i] = cc.intern(c)
+	}
+	nv.edges = cliquetree.MaxWeightSpanningForest(phi, cliquetree.WCIG(phi))
+	cc.views[u] = nv
+	return nv, nil
+}
+
+// lazyView incrementally reconstructs the clique forest of the ball graph
+// around a center node, expanding T(u) only for the members of cliques the
+// walk actually visits (Section 3 machinery, computed on demand). The
+// φ(u)/T(u) building blocks come from the shared per-iteration cache;
+// which cliques get merged, and in which local order, is still driven by
+// this center's walk alone.
+type lazyView struct {
+	g       *graph.Graph
+	cache   *cliqueCache
+	distV   map[graph.ID]int
+	horizon int
+
+	localIdx map[int]int // cache clique id -> local index
+	cliques  []graph.Set
+	adj      map[int]map[int]bool
+	ensured  map[graph.ID]bool
+	phi      map[graph.ID][]int
+}
+
+func newLazyView(ballGi *graph.Graph, center graph.ID, horizon int, cache *cliqueCache) *lazyView {
+	if cache == nil {
+		// Horizon too small for the sharing argument: fall back to a
+		// private cache over this center's own ball.
+		cache = newCliqueCache(ballGi)
+	}
+	return &lazyView{
+		g:        ballGi,
+		cache:    cache,
+		distV:    ballGi.BFSDistances(center),
+		horizon:  horizon,
+		localIdx: make(map[int]int),
+		adj:      make(map[int]map[int]bool),
+		ensured:  make(map[graph.ID]bool),
+		phi:      make(map[graph.ID][]int),
+	}
+}
+
+func (lv *lazyView) addClique(cacheID int, c graph.Set) int {
+	if i, ok := lv.localIdx[cacheID]; ok {
 		return i
 	}
 	i := len(lv.cliques)
-	lv.cliqueIdx[key] = i
+	lv.localIdx[cacheID] = i
 	lv.cliques = append(lv.cliques, c)
 	lv.adj[i] = make(map[int]bool)
 	for _, v := range c {
@@ -203,22 +290,22 @@ func (lv *lazyView) trusted(i int) bool {
 	return true
 }
 
-// ensureNode computes φ(u) and the edges of T(u) (Lemma 2) and merges
-// them into the view. Only valid for nodes within the trusted zone.
+// ensureNode merges φ(u) and the edges of T(u) (Lemma 2) into the view.
+// Only valid for nodes within the trusted zone.
 func (lv *lazyView) ensureNode(u graph.ID) error {
 	if lv.ensured[u] {
 		return nil
 	}
 	lv.ensured[u] = true
-	phi, err := cliquetree.MaximalCliquesContaining(lv.g, u)
+	nc, err := lv.cache.node(u)
 	if err != nil {
 		return err
 	}
-	idx := make([]int, len(phi))
-	for i, c := range phi {
-		idx[i] = lv.addClique(c)
+	idx := make([]int, len(nc.phi))
+	for i, c := range nc.phi {
+		idx[i] = lv.addClique(nc.ids[i], c)
 	}
-	for _, e := range cliquetree.MaxWeightSpanningForest(phi, cliquetree.WCIG(phi)) {
+	for _, e := range nc.edges {
 		a, b := idx[e[0]], idx[e[1]]
 		lv.adj[a][b] = true
 		lv.adj[b][a] = true
@@ -251,8 +338,8 @@ func (lv *lazyView) neighbors(i int) []int {
 // decideNodeRule determines, purely from v's G_i-restricted ball, whether
 // v is peeled in the current iteration under the given rule, and if so
 // returns its parent (-1 = ⊥).
-func decideNodeRule(ballGi *graph.Graph, v graph.ID, rule decideRule, radius int) (bool, graph.ID, error) {
-	lv := newLazyView(ballGi, v, radius)
+func decideNodeRule(ballGi *graph.Graph, v graph.ID, rule decideRule, radius int, cache *cliqueCache) (bool, graph.ID, error) {
+	lv := newLazyView(ballGi, v, radius, cache)
 	if err := lv.ensureNode(v); err != nil {
 		return false, -1, err
 	}

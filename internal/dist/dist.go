@@ -5,15 +5,21 @@
 // send an unbounded message to each neighbor; the cost of an algorithm is
 // the number of communication rounds.
 //
-// The engine runs one goroutine per node per round with a barrier between
-// rounds, so node programs execute genuinely concurrently; determinism is
-// preserved because nodes interact only through messages delivered at
-// round boundaries. A sequential mode exists for debugging.
+// The engine runs on a frozen graph.Indexed snapshot: nodes are dense
+// indices, inboxes are per-node slices reused across rounds, and messages
+// are delivered by walking senders in index order, which yields the
+// deterministic (sender, queue position) delivery order without sorting.
+// Per-round work is sharded over a bounded worker pool sized by
+// GOMAXPROCS; node programs execute genuinely concurrently but interact
+// only through messages delivered at round boundaries, so every schedule
+// produces identical results. The legacy goroutine-per-node schedule and
+// a sequential schedule are kept for determinism cross-checks and
+// debugging.
 package dist
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
 	"sync"
 
 	"repro/internal/graph"
@@ -34,7 +40,8 @@ type Protocol interface {
 	// Init runs before round 1; the node may send its first messages.
 	Init(ctx *Context)
 	// Round runs once per communication round with the messages sent to
-	// this node in the previous round.
+	// this node in the previous round. The inbox slice is only valid for
+	// the duration of the call: the engine reuses its backing array.
 	Round(ctx *Context, inbox []Message)
 	// Done reports whether this node's output is final. Done nodes keep
 	// receiving Round calls (LOCAL nodes still relay messages); the run
@@ -44,33 +51,65 @@ type Protocol interface {
 	Output() any
 }
 
+// ExecMode selects how the engine schedules per-node work within a round.
+// Every mode produces identical results; they differ only in scheduling.
+type ExecMode int
+
+const (
+	// ModePooled shards the node range over a bounded worker pool sized
+	// by GOMAXPROCS. This is the default: it scales to 10^5-node graphs
+	// without paying one goroutine per node per round.
+	ModePooled ExecMode = iota
+	// ModePerNode launches one goroutine per node per round (the legacy
+	// schedule, kept for determinism cross-checks).
+	ModePerNode
+	// ModeSequential runs all nodes on the calling goroutine (useful
+	// under -race or for bisecting nondeterminism suspicions).
+	ModeSequential
+)
+
+// DefaultMode is the schedule NewEngine assigns to new engines. The
+// determinism cross-check tests override it temporarily; production code
+// leaves it alone.
+var DefaultMode = ModePooled
+
 // Context is a node's interface to the network during Init/Round calls.
 type Context struct {
-	id        graph.ID
-	neighbors []graph.ID
-	outbox    []Message
-	targets   []graph.ID
+	id      graph.ID
+	nbrIDs  []graph.ID
+	nbrIdx  []int32
+	ix      *graph.Indexed
+	outbox  []Message
+	targets []int32
 }
 
 // ID returns the node's unique identifier.
 func (c *Context) ID() graph.ID { return c.id }
 
-// Neighbors returns the node's neighbors in increasing ID order.
-func (c *Context) Neighbors() []graph.ID { return c.neighbors }
+// Neighbors returns the node's neighbors in increasing ID order. The
+// slice is shared with the engine's graph snapshot: treat it as
+// read-only.
+func (c *Context) Neighbors() []graph.ID { return c.nbrIDs }
 
 // Degree returns the number of neighbors.
-func (c *Context) Degree() int { return len(c.neighbors) }
+func (c *Context) Degree() int { return len(c.nbrIDs) }
 
-// Send queues a message to neighbor to, delivered next round.
+// Send queues a message to node to, delivered next round.
 func (c *Context) Send(to graph.ID, payload any) {
+	j, ok := c.ix.IndexOf(to)
+	if !ok {
+		panic(fmt.Sprintf("dist: node %d sent to %d, which is not a node of the network", c.id, to))
+	}
 	c.outbox = append(c.outbox, Message{From: c.id, Payload: payload})
-	c.targets = append(c.targets, to)
+	c.targets = append(c.targets, int32(j))
 }
 
 // Broadcast queues the same payload to every neighbor.
 func (c *Context) Broadcast(payload any) {
-	for _, nb := range c.neighbors {
-		c.Send(nb, payload)
+	m := Message{From: c.id, Payload: payload}
+	for _, j := range c.nbrIdx {
+		c.outbox = append(c.outbox, m)
+		c.targets = append(c.targets, j)
 	}
 }
 
@@ -96,23 +135,32 @@ type Result struct {
 
 // Engine executes a Protocol instance on every node of a graph.
 type Engine struct {
-	g     *graph.Graph
-	nodes []graph.ID
-	progs map[graph.ID]Protocol
-	// Sequential disables per-round goroutines (useful under -race or for
-	// bisecting nondeterminism suspicions).
+	ix    *graph.Indexed
+	progs []Protocol // by node index
+	// Mode selects the per-round schedule; all modes give identical
+	// results.
+	Mode ExecMode
+	// Sequential forces ModeSequential regardless of Mode (legacy knob,
+	// kept for existing callers).
 	Sequential bool
 }
 
 // NewEngine creates an engine running factory(v) on every node v of g.
 func NewEngine(g *graph.Graph, factory func(v graph.ID) Protocol) *Engine {
+	return NewEngineIndexed(graph.NewIndexed(g), factory)
+}
+
+// NewEngineIndexed creates an engine on an existing snapshot, letting
+// callers that run many protocols over the same graph (e.g. iterated
+// pruning) pay the snapshot cost once.
+func NewEngineIndexed(ix *graph.Indexed, factory func(v graph.ID) Protocol) *Engine {
 	e := &Engine{
-		g:     g,
-		nodes: g.Nodes(),
-		progs: make(map[graph.ID]Protocol, g.NumNodes()),
+		ix:    ix,
+		progs: make([]Protocol, ix.NumNodes()),
+		Mode:  DefaultMode,
 	}
-	for _, v := range e.nodes {
-		e.progs[v] = factory(v)
+	for i, v := range ix.IDs() {
+		e.progs[i] = factory(v)
 	}
 	return e
 }
@@ -121,64 +169,115 @@ func NewEngine(g *graph.Graph, factory func(v graph.ID) Protocol) *Engine {
 // maxRounds rounds. It returns the number of rounds executed and each
 // node's output.
 func (e *Engine) Run(maxRounds int) (*Result, error) {
-	inboxes := make(map[graph.ID][]Message, len(e.nodes))
-	ctxs := make(map[graph.ID]*Context, len(e.nodes))
-	for _, v := range e.nodes {
-		ctxs[v] = &Context{id: v, neighbors: e.g.Neighbors(v)}
+	n := e.ix.NumNodes()
+	ctxs := make([]Context, n)
+	for i := range ctxs {
+		ctxs[i] = Context{
+			id:     e.ix.IDOf(i),
+			nbrIDs: e.ix.NeighborIDs(i),
+			nbrIdx: e.ix.NeighborIndices(i),
+			ix:     e.ix,
+		}
 	}
+	// cur/next are per-node inboxes indexed by node index, double-buffered
+	// so the backing arrays are reused across rounds.
+	cur := make([][]Message, n)
+	next := make([][]Message, n)
 
 	res := &Result{}
-	e.parallel(func(v graph.ID) {
-		e.progs[v].Init(ctxs[v])
+	e.forEachNode(func(i int) {
+		e.progs[i].Init(&ctxs[i])
 	})
-	next := e.collectOutboxes(ctxs, res)
+	e.collect(ctxs, next, res)
 
 	for !e.allDone() {
 		if res.Rounds >= maxRounds {
 			return nil, fmt.Errorf("protocol did not terminate within %d rounds", maxRounds)
 		}
 		res.Rounds++
-		inboxes = next
-		e.parallel(func(v graph.ID) {
-			e.progs[v].Round(ctxs[v], inboxes[v])
+		cur, next = next, cur
+		e.forEachNode(func(i int) {
+			e.progs[i].Round(&ctxs[i], cur[i])
 		})
-		next = e.collectOutboxes(ctxs, res)
+		e.collect(ctxs, next, res)
 	}
 
-	res.Outputs = make(map[graph.ID]any, len(e.nodes))
-	for _, v := range e.nodes {
-		res.Outputs[v] = e.progs[v].Output()
+	res.Outputs = make(map[graph.ID]any, n)
+	for i, v := range e.ix.IDs() {
+		res.Outputs[v] = e.progs[i].Output()
 	}
 	return res, nil
 }
 
-// parallel runs fn for every node, concurrently unless Sequential.
-func (e *Engine) parallel(fn func(v graph.ID)) {
+// forEachNode runs fn for every node index according to the engine mode.
+// Shards are contiguous index ranges, so the work partition is
+// deterministic; node programs touch only their own state and context, so
+// any schedule is race-free and equivalent.
+func (e *Engine) forEachNode(fn func(i int)) {
+	n := len(e.progs)
+	mode := e.Mode
 	if e.Sequential {
-		for _, v := range e.nodes {
-			fn(v)
+		mode = ModeSequential
+	}
+	switch mode {
+	case ModeSequential:
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-		return
+	case ModePerNode:
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			go func(i int) {
+				defer wg.Done()
+				fn(i)
+			}(i)
+		}
+		wg.Wait()
+	default: // ModePooled
+		workers := runtime.GOMAXPROCS(0)
+		if workers > n {
+			workers = n
+		}
+		if workers <= 1 {
+			for i := 0; i < n; i++ {
+				fn(i)
+			}
+			return
+		}
+		chunk := (n + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(e.nodes))
-	for _, v := range e.nodes {
-		go func(v graph.ID) {
-			defer wg.Done()
-			fn(v)
-		}(v)
-	}
-	wg.Wait()
 }
 
-// collectOutboxes moves queued messages into next-round inboxes,
-// deterministically ordered by (sender, queue position).
-func (e *Engine) collectOutboxes(ctxs map[graph.ID]*Context, res *Result) map[graph.ID][]Message {
-	next := make(map[graph.ID][]Message)
-	for _, v := range e.nodes {
-		ctx := ctxs[v]
-		for i, msg := range ctx.outbox {
-			to := ctx.targets[i]
+// collect moves queued messages into next-round inboxes. Walking senders
+// in increasing node index (= increasing ID) order delivers every inbox
+// already sorted by (sender, queue position) — the order the legacy
+// engine produced with a global stable sort — without sorting. Inbox
+// slices are truncated and refilled in place, so steady-state rounds
+// allocate nothing.
+func (e *Engine) collect(ctxs []Context, next [][]Message, res *Result) {
+	for i := range next {
+		next[i] = next[i][:0]
+	}
+	for i := range ctxs {
+		c := &ctxs[i]
+		for k, msg := range c.outbox {
+			to := c.targets[k]
 			next[to] = append(next[to], msg)
 			res.Messages++
 			if s, ok := msg.Payload.(Sizer); ok {
@@ -187,19 +286,14 @@ func (e *Engine) collectOutboxes(ctxs map[graph.ID]*Context, res *Result) map[gr
 				res.Volume++
 			}
 		}
-		ctx.outbox = ctx.outbox[:0]
-		ctx.targets = ctx.targets[:0]
+		c.outbox = c.outbox[:0]
+		c.targets = c.targets[:0]
 	}
-	for to := range next {
-		msgs := next[to]
-		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
-	}
-	return next
 }
 
 func (e *Engine) allDone() bool {
-	for _, v := range e.nodes {
-		if !e.progs[v].Done() {
+	for _, p := range e.progs {
+		if !p.Done() {
 			return false
 		}
 	}

@@ -98,15 +98,15 @@ func TestCollectBallsExactBalls(t *testing.T) {
 		for _, v := range g.Nodes() {
 			k := know[v]
 			wantBall := g.Ball(v, radius)
-			if len(k.Dist) != len(wantBall) {
+			if k.Size() != len(wantBall) {
 				t.Fatalf("radius %d node %d: knows %d nodes, want %d",
-					radius, v, len(k.Dist), len(wantBall))
+					radius, v, k.Size(), len(wantBall))
 			}
 			for _, u := range wantBall {
 				wantDist := g.Distance(v, u)
-				if k.Dist[u] != wantDist {
-					t.Fatalf("radius %d node %d: dist[%d] = %d, want %d",
-						radius, v, u, k.Dist[u], wantDist)
+				if d, ok := k.DistOf(u); !ok || d != wantDist {
+					t.Fatalf("radius %d node %d: dist[%d] = %d (known %v), want %d",
+						radius, v, u, d, ok, wantDist)
 				}
 			}
 			// Ball graph equals the true induced subgraph.
@@ -142,10 +142,10 @@ func TestCollectBallsDisconnected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := know[0].Dist[10]; ok {
+	if know[0].Known(10) {
 		t.Fatal("knowledge crossed components")
 	}
-	if len(know[10].Dist) != 2 {
-		t.Fatalf("node 10 knows %d nodes, want 2", len(know[10].Dist))
+	if know[10].Size() != 2 {
+		t.Fatalf("node 10 knows %d nodes, want 2", know[10].Size())
 	}
 }

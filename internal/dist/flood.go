@@ -13,34 +13,111 @@ type NodeInfo struct {
 	Node graph.ID
 	Adj  []graph.ID
 	Note any
+	// idx is the node's dense index in the engine's graph snapshot; it
+	// travels with the record so receivers can dedup with a bitmap
+	// instead of a hash lookup.
+	idx int32
 }
 
 // Knowledge is what a node has learned after r rounds of flooding: the
-// info of every node at distance at most r, with distances.
+// info of every node at distance at most r, with distances. Records are
+// stored in discovery order (distances nondecreasing, center first);
+// by-ID lookups go through a position map that is built lazily, so
+// flood-only workloads never pay for it. Knowledge is not safe for
+// concurrent use.
 type Knowledge struct {
 	Center graph.ID
 	Radius int
-	Info   map[graph.ID]NodeInfo
-	Dist   map[graph.ID]int
+	recs   []NodeInfo
+	dist   []int32 // aligned with recs
+	pos    map[graph.ID]int32
+	// maxDist is the largest distance at which the flood still learned a
+	// new node.
+	maxDist int
+}
+
+// ensurePos returns the ID→record-index map, building it on first use.
+// Protocols that dedup by map (large n) populate it eagerly instead.
+func (k *Knowledge) ensurePos() map[graph.ID]int32 {
+	if k.pos == nil {
+		k.pos = make(map[graph.ID]int32, len(k.recs))
+		for i, rec := range k.recs {
+			k.pos[rec.Node] = int32(i)
+		}
+	}
+	return k.pos
+}
+
+// Size returns the number of known nodes (the center counts).
+func (k *Knowledge) Size() int { return len(k.recs) }
+
+// Known reports whether v is within the collected ball.
+func (k *Knowledge) Known(v graph.ID) bool {
+	_, ok := k.ensurePos()[v]
+	return ok
+}
+
+// DistOf returns the distance from the center to v, and whether v is
+// known.
+func (k *Knowledge) DistOf(v graph.ID) (int, bool) {
+	i, ok := k.ensurePos()[v]
+	if !ok {
+		return 0, false
+	}
+	return int(k.dist[i]), true
+}
+
+// InfoOf returns the record of a known node.
+func (k *Knowledge) InfoOf(v graph.ID) (NodeInfo, bool) {
+	i, ok := k.ensurePos()[v]
+	if !ok {
+		return NodeInfo{}, false
+	}
+	return k.recs[i], true
+}
+
+// CoversComponent reports whether the knowledge provably covers the
+// center's entire connected component: the flood quiesced strictly before
+// the radius was exhausted, so no known node can have an unknown
+// neighbor. False does not imply the component extends past the ball,
+// only that the flood cannot tell.
+func (k *Knowledge) CoversComponent() bool {
+	return k.maxDist < k.Radius
 }
 
 // BallGraph returns the subgraph induced by the known nodes at distance at
 // most r from the center. Because each known node carries its full
 // adjacency list, the induced subgraph is exact for r <= Radius.
 func (k *Knowledge) BallGraph(r int) *graph.Graph {
+	return k.FilteredBallGraph(r, func(graph.ID) bool { return true })
+}
+
+// FilteredBallGraph returns the subgraph induced by the known nodes at
+// distance at most r that satisfy keep — equivalent to
+// BallGraph(r).InducedSubgraph of the kept nodes, built in one pass.
+// Records are stored in nondecreasing distance order, so both passes stop
+// at the first record beyond r.
+func (k *Knowledge) FilteredBallGraph(r int, keep func(graph.ID) bool) *graph.Graph {
 	g := graph.New()
-	for v, d := range k.Dist {
-		if d <= r {
-			g.AddNode(v)
+	pos := k.ensurePos()
+	for i, rec := range k.recs {
+		if int(k.dist[i]) > r {
+			break
+		}
+		if keep(rec.Node) {
+			g.AddNode(rec.Node)
 		}
 	}
-	for v, d := range k.Dist {
-		if d > r {
+	for i, rec := range k.recs {
+		if int(k.dist[i]) > r {
+			break
+		}
+		if !keep(rec.Node) {
 			continue
 		}
-		for _, u := range k.Info[v].Adj {
-			if du, ok := k.Dist[u]; ok && du <= r {
-				g.AddEdge(v, u)
+		for _, u := range rec.Adj {
+			if j, ok := pos[u]; ok && int(k.dist[j]) <= r && keep(u) {
+				g.AddEdge(rec.Node, u)
 			}
 		}
 	}
@@ -49,46 +126,68 @@ func (k *Knowledge) BallGraph(r int) *graph.Graph {
 
 // Note returns the annotation of a known node (nil if unknown).
 func (k *Knowledge) Note(v graph.ID) any {
-	if info, ok := k.Info[v]; ok {
+	if info, ok := k.InfoOf(v); ok {
 		return info.Note
 	}
 	return nil
 }
 
 // infoBatch is the flood message payload; its size is its record count.
+// Batches travel as *infoBatch so queueing a payload never boxes a slice
+// header into an allocation.
 type infoBatch []NodeInfo
 
 // PayloadSize implements Sizer.
-func (b infoBatch) PayloadSize() int { return len(b) }
+func (b *infoBatch) PayloadSize() int { return len(*b) }
+
+// seenBitmapMaxN bounds the graphs for which flood protocols dedup with a
+// dense per-node bitmap (n²/8 bytes network-wide; 32 MB at the bound).
+// Larger networks fall back to the Dist-map lookup, which costs nothing
+// extra when balls are small relative to n — the only regime in which
+// such networks are floodable at all.
+const seenBitmapMaxN = 1 << 14
 
 // floodProtocol implements incremental full-information flooding: each
 // round a node forwards only the NodeInfo records it learned in the
 // previous round, so total communication is proportional to the knowledge
-// gathered rather than quadratic in it.
+// gathered rather than quadratic in it. Fresh records are the tail of the
+// knowledge's record slice appended this round; the outgoing batch is a
+// capacity-capped view of that tail, so no separate fresh buffer exists.
+// The two batch headers alternate because a header written in round r is
+// read by neighbors in round r+1 and is dead by round r+2.
 type floodProtocol struct {
 	radius int
 	round  int
 	know   *Knowledge
-	fresh  []NodeInfo
+	batch  [2]infoBatch
+	seen   []uint64 // dense dedup bitmap by snapshot index; nil for big n
 }
 
-func newFloodProtocol(v graph.ID, adj []graph.ID, note any, radius int) *floodProtocol {
-	self := NodeInfo{Node: v, Adj: adj, Note: note}
-	return &floodProtocol{
-		radius: radius,
-		know: &Knowledge{
-			Center: v,
-			Radius: radius,
-			Info:   map[graph.ID]NodeInfo{v: self},
-			Dist:   map[graph.ID]int{v: 0},
-		},
-		fresh: []NodeInfo{self},
+func newFloodProtocol(v graph.ID, idx, n int, adj []graph.ID, note any, radius, sizeHint int) *floodProtocol {
+	self := NodeInfo{Node: v, Adj: adj, Note: note, idx: int32(idx)}
+	k := &Knowledge{
+		Center: v,
+		Radius: radius,
+		recs:   make([]NodeInfo, 0, sizeHint),
+		dist:   make([]int32, 0, sizeHint),
 	}
+	k.recs = append(k.recs, self)
+	k.dist = append(k.dist, 0)
+	p := &floodProtocol{radius: radius, know: k}
+	if n <= seenBitmapMaxN {
+		p.seen = make([]uint64, (n+63)/64)
+		p.seen[idx>>6] |= 1 << (uint(idx) & 63)
+	} else {
+		k.pos = make(map[graph.ID]int32, sizeHint)
+		k.pos[v] = 0
+	}
+	p.batch[0] = infoBatch(k.recs[0:1:1])
+	return p
 }
 
 func (p *floodProtocol) Init(ctx *Context) {
 	if p.radius > 0 {
-		ctx.Broadcast(infoBatch(p.fresh))
+		ctx.Broadcast(&p.batch[0])
 	}
 }
 
@@ -97,24 +196,77 @@ func (p *floodProtocol) Round(ctx *Context, inbox []Message) {
 		return
 	}
 	p.round++
-	var fresh []NodeInfo
+	k := p.know
+	start := len(k.recs)
 	for _, m := range inbox {
-		for _, info := range m.Payload.(infoBatch) {
-			if _, known := p.know.Dist[info.Node]; !known {
-				p.know.Info[info.Node] = info
-				p.know.Dist[info.Node] = p.round
-				fresh = append(fresh, info)
+		for _, info := range *m.Payload.(*infoBatch) {
+			if p.seen != nil {
+				w, b := info.idx>>6, uint64(1)<<(uint(info.idx)&63)
+				if p.seen[w]&b != 0 {
+					continue
+				}
+				p.seen[w] |= b
+			} else {
+				if _, known := k.pos[info.Node]; known {
+					continue
+				}
+				k.pos[info.Node] = int32(len(k.recs))
 			}
+			k.recs = append(k.recs, info)
+			k.dist = append(k.dist, int32(p.round))
 		}
 	}
-	p.fresh = fresh
-	if p.round < p.radius && len(fresh) > 0 {
-		ctx.Broadcast(infoBatch(fresh))
+	if len(k.recs) > start {
+		k.maxDist = p.round
+		if p.round < p.radius {
+			cur := p.round % 2
+			p.batch[cur] = infoBatch(k.recs[start:len(k.recs):len(k.recs)])
+			ctx.Broadcast(&p.batch[cur])
+		}
 	}
 }
 
 func (p *floodProtocol) Done() bool  { return p.round >= p.radius }
 func (p *floodProtocol) Output() any { return p.know }
+
+// maxBallHint caps the per-node presize so a mis-estimate can never
+// front-load more memory than the flood would actually gather; slices
+// and maps simply grow past it when balls really are larger.
+const maxBallHint = 1 << 12
+
+// ballSizeHint estimates |Γ^radius[v]| for presizing knowledge storage:
+// the node's own degree for the first hop, average-degree growth after
+// that, capped at n and at maxBallHint. Using the average rather than
+// the maximum degree matters at scale — one hub must not inflate every
+// node's presize. Only a capacity hint; correctness never depends on it.
+func ballSizeHint(deg, avgDeg, radius, n int) int {
+	if deg == 0 || radius == 0 {
+		return 1
+	}
+	grow := avgDeg - 1
+	if grow < 1 {
+		grow = 1
+	}
+	s, f := 1, deg
+	for r := 0; r < radius; r++ {
+		s += f
+		if s >= n || s >= maxBallHint {
+			break
+		}
+		if f > n/grow {
+			f = n
+		} else {
+			f *= grow
+		}
+	}
+	if s > n {
+		s = n
+	}
+	if s > maxBallHint {
+		s = maxBallHint
+	}
+	return s
+}
 
 // CollectBalls runs full-information flooding for radius rounds on g, with
 // optional per-node annotations, and returns each node's Knowledge. The
@@ -131,8 +283,24 @@ func CollectBalls(g *graph.Graph, radius int, notes map[graph.ID]any) (map[graph
 // CollectBallsStats is CollectBalls with the full engine result (rounds,
 // message count, volume in NodeInfo records) for bandwidth measurements.
 func CollectBallsStats(g *graph.Graph, radius int, notes map[graph.ID]any) (map[graph.ID]*Knowledge, *Result, error) {
-	eng := NewEngine(g, func(v graph.ID) Protocol {
-		return newFloodProtocol(v, g.Neighbors(v), notes[v], radius)
+	return CollectBallsIndexed(graph.NewIndexed(g), radius, notes)
+}
+
+// CollectBallsIndexed is CollectBallsStats on an existing snapshot,
+// letting iterated callers (the pruning phase) pay the snapshot cost
+// once. Adjacency lists in the disseminated NodeInfo records are shared
+// views into the snapshot, so collection allocates no per-node adjacency
+// copies.
+func CollectBallsIndexed(ix *graph.Indexed, radius int, notes map[graph.ID]any) (map[graph.ID]*Knowledge, *Result, error) {
+	n := ix.NumNodes()
+	avgDeg := 0
+	if n > 0 {
+		avgDeg = 2 * ix.NumEdges() / n
+	}
+	eng := NewEngineIndexed(ix, func(v graph.ID) Protocol {
+		i, _ := ix.IndexOf(v)
+		hint := ballSizeHint(ix.Degree(i), avgDeg, radius, n)
+		return newFloodProtocol(v, i, n, ix.NeighborIDs(i), notes[v], radius, hint)
 	})
 	res, err := eng.Run(radius + 1)
 	if err != nil {

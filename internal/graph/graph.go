@@ -10,7 +10,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -22,11 +22,26 @@ type ID int
 // instances with New. Graph is not safe for concurrent mutation.
 type Graph struct {
 	adj map[ID]map[ID]struct{}
+	// nbrCache holds sorted adjacency slices built by Neighbors, so that
+	// repeated reads (the common case after construction) are
+	// allocation-free. Entries are invalidated when the incident node's
+	// adjacency mutates; cached slices are never modified in place, so a
+	// slice handed out before a mutation stays a valid pre-mutation
+	// snapshot. nil until the first Neighbors call, so pure construction
+	// pays nothing.
+	nbrCache map[ID][]ID
 }
 
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{adj: make(map[ID]map[ID]struct{})}
+}
+
+// invalidate drops v's cached adjacency slice after a mutation.
+func (g *Graph) invalidate(v ID) {
+	if g.nbrCache != nil {
+		delete(g.nbrCache, v)
+	}
 }
 
 // FromEdges builds a graph containing the given nodes and edges. Nodes
@@ -57,26 +72,38 @@ func (g *Graph) AddEdge(u, v ID) {
 	}
 	g.AddNode(u)
 	g.AddNode(v)
+	if _, ok := g.adj[u][v]; ok {
+		return
+	}
 	g.adj[u][v] = struct{}{}
 	g.adj[v][u] = struct{}{}
+	g.invalidate(u)
+	g.invalidate(v)
 }
 
 // RemoveEdge deletes the edge uv if present.
 func (g *Graph) RemoveEdge(u, v ID) {
-	if nb, ok := g.adj[u]; ok {
-		delete(nb, v)
+	nb, ok := g.adj[u]
+	if !ok {
+		return
 	}
-	if nb, ok := g.adj[v]; ok {
-		delete(nb, u)
+	if _, ok := nb[v]; !ok {
+		return
 	}
+	delete(nb, v)
+	delete(g.adj[v], u)
+	g.invalidate(u)
+	g.invalidate(v)
 }
 
 // RemoveNode deletes node v and all incident edges.
 func (g *Graph) RemoveNode(v ID) {
 	for u := range g.adj[v] {
 		delete(g.adj[u], v)
+		g.invalidate(u)
 	}
 	delete(g.adj, v)
+	g.invalidate(v)
 }
 
 // RemoveNodes deletes every node in vs.
@@ -120,7 +147,7 @@ func (g *Graph) Nodes() []ID {
 	for v := range g.adj {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -134,31 +161,45 @@ func (g *Graph) Edges() [][2]ID {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
+	slices.SortFunc(out, func(a, b [2]ID) int {
+		if a[0] != b[0] {
+			return int(a[0] - b[0])
 		}
-		return out[i][1] < out[j][1]
+		return int(a[1] - b[1])
 	})
 	return out
 }
 
 // Neighbors returns the open neighborhood Γ(v) in increasing ID order.
+// The result is cached until v's adjacency next mutates and is shared
+// between callers: treat it as read-only.
 func (g *Graph) Neighbors(v ID) []ID {
+	if out, ok := g.nbrCache[v]; ok {
+		return out
+	}
 	nb := g.adj[v]
 	out := make([]ID, 0, len(nb))
 	for u := range nb {
 		out = append(out, u)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	if g.nbrCache == nil {
+		g.nbrCache = make(map[ID][]ID)
+	}
+	g.nbrCache[v] = out
 	return out
 }
 
 // ClosedNeighbors returns Γ[v] = Γ(v) ∪ {v} in increasing ID order.
 func (g *Graph) ClosedNeighbors(v ID) []ID {
-	out := g.Neighbors(v)
+	nb := g.Neighbors(v)
+	out := make([]ID, 0, len(nb)+1)
+	i := 0
+	for ; i < len(nb) && nb[i] < v; i++ {
+		out = append(out, nb[i])
+	}
 	out = append(out, v)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out = append(out, nb[i:]...)
 	return out
 }
 
@@ -301,7 +342,7 @@ func (g *Graph) Ball(v ID, r int) []ID {
 	for u := range dist {
 		out = append(out, u)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -324,7 +365,7 @@ func (g *Graph) Components() [][]ID {
 				}
 			}
 		}
-		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		slices.Sort(comp)
 		comps = append(comps, comp)
 	}
 	return comps

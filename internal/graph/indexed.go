@@ -1,0 +1,116 @@
+package graph
+
+import "slices"
+
+// Indexed is a frozen, index-based snapshot of a Graph: the n nodes are
+// densely numbered 0..n-1 in increasing ID order and adjacency is stored
+// in compressed sparse row (CSR) form with every neighbor list sorted
+// ascending. Lookups in both directions (ID→index, index→ID) are O(1),
+// and neighbor slices are shared views into the snapshot, so repeated
+// reads allocate nothing.
+//
+// An Indexed is immutable and safe for any number of concurrent readers;
+// mutating the source Graph after the snapshot is taken does not affect
+// it. The simulation hot paths (dist.Engine, flooding, pruning) run on
+// snapshots; the mutable Graph remains the construction-time interface.
+type Indexed struct {
+	ids    []ID         // index -> ID, strictly increasing
+	index  map[ID]int32 // ID -> index
+	rowPtr []int32      // CSR row pointers, len n+1
+	colIdx []int32      // neighbor indices, sorted ascending within a row
+	colID  []ID         // neighbor IDs, aligned with colIdx
+}
+
+// NewIndexed takes a snapshot of g. The snapshot orders nodes by
+// increasing ID, matching g.Nodes().
+func NewIndexed(g *Graph) *Indexed {
+	ids := g.Nodes()
+	n := len(ids)
+	ix := &Indexed{
+		ids:    ids,
+		index:  make(map[ID]int32, n),
+		rowPtr: make([]int32, n+1),
+	}
+	for i, v := range ids {
+		ix.index[v] = int32(i)
+	}
+	total := 0
+	for _, v := range ids {
+		total += len(g.adj[v])
+	}
+	ix.colIdx = make([]int32, 0, total)
+	ix.colID = make([]ID, total)
+	for i, v := range ids {
+		ix.rowPtr[i] = int32(len(ix.colIdx))
+		for u := range g.adj[v] {
+			ix.colIdx = append(ix.colIdx, ix.index[u])
+		}
+		row := ix.colIdx[ix.rowPtr[i]:]
+		slices.Sort(row)
+		for k, j := range row {
+			ix.colID[int(ix.rowPtr[i])+k] = ix.ids[j]
+		}
+	}
+	ix.rowPtr[n] = int32(len(ix.colIdx))
+	return ix
+}
+
+// NumNodes returns the number of nodes.
+func (ix *Indexed) NumNodes() int { return len(ix.ids) }
+
+// NumEdges returns the number of edges.
+func (ix *Indexed) NumEdges() int { return len(ix.colIdx) / 2 }
+
+// IDs returns all node IDs in increasing order. The slice is shared with
+// the snapshot and must not be modified.
+func (ix *Indexed) IDs() []ID { return ix.ids }
+
+// IDOf returns the ID of the node at index i.
+func (ix *Indexed) IDOf(i int) ID { return ix.ids[i] }
+
+// IndexOf returns the dense index of node v, and whether v is a node.
+func (ix *Indexed) IndexOf(v ID) (int, bool) {
+	i, ok := ix.index[v]
+	return int(i), ok
+}
+
+// Degree returns the degree of the node at index i.
+func (ix *Indexed) Degree(i int) int {
+	return int(ix.rowPtr[i+1] - ix.rowPtr[i])
+}
+
+// MaxDegree returns the maximum degree over all nodes (0 when empty).
+func (ix *Indexed) MaxDegree() int {
+	max := 0
+	for i := range ix.ids {
+		if d := ix.Degree(i); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// NeighborIndices returns the neighbor indices of node i in ascending
+// index order. The slice is shared with the snapshot and must not be
+// modified.
+func (ix *Indexed) NeighborIndices(i int) []int32 {
+	return ix.colIdx[ix.rowPtr[i]:ix.rowPtr[i+1]]
+}
+
+// NeighborIDs returns the neighbor IDs of node i in ascending ID order
+// (indices ascend with IDs, so the two orders agree). The slice is shared
+// with the snapshot and must not be modified.
+func (ix *Indexed) NeighborIDs(i int) []ID {
+	return ix.colID[ix.rowPtr[i]:ix.rowPtr[i+1]]
+}
+
+// HasEdge reports whether nodes at indices i and j are adjacent, by
+// binary search over the shorter of the two rows.
+func (ix *Indexed) HasEdge(i, j int) bool {
+	if ix.Degree(i) > ix.Degree(j) {
+		i, j = j, i
+	}
+	row := ix.NeighborIndices(i)
+	_, found := slices.BinarySearch(row, int32(j))
+	return found
+}

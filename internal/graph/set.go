@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Set is a sorted, duplicate-free slice of node IDs. The order makes set
 // algebra deterministic, which the canonical clique-forest construction
@@ -12,7 +15,7 @@ type Set []ID
 func NewSet(ids ...ID) Set {
 	s := make(Set, len(ids))
 	copy(s, ids)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	return dedup(s)
 }
 

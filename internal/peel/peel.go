@@ -102,6 +102,7 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 
 func peelOnce(current *graph.Graph, forest *cliquetree.Forest, iteration int, opts Options, last bool) (*Layer, error) {
 	layer := &Layer{Index: iteration}
+	var peeled []graph.ID
 	for _, p := range forest.MaximalBinaryPaths() {
 		rec := PathRecord{Kind: p.Kind}
 		for _, ci := range p.Cliques {
@@ -140,8 +141,11 @@ func peelOnce(current *graph.Graph, forest *cliquetree.Forest, iteration int, op
 		}
 		rec.Nodes = forest.SubpathNodes(p)
 		layer.Paths = append(layer.Paths, rec)
-		layer.Nodes = layer.Nodes.Union(rec.Nodes)
+		peeled = append(peeled, rec.Nodes...)
 	}
+	// One sort+dedup over all peeled paths; equivalent to the pairwise
+	// unions it replaces, without the quadratic re-merging.
+	layer.Nodes = graph.NewSet(peeled...)
 	return layer, nil
 }
 
