@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke bench experiments
+.PHONY: all build test vet lint race fuzz-smoke ci bench-smoke bench experiments
 
 all: build test
 
@@ -13,9 +13,32 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-detector gate for the concurrent simulation core.
+# chordalvet: the repo's own determinism & concurrency linter
+# (cmd/chordalvet, stdlib-only). Runs all six analyzers over every
+# package in the module; see DESIGN.md "Determinism invariants".
+lint:
+	$(GO) run ./cmd/chordalvet ./...
+
+# Race-detector gate for the concurrent simulation core and everything
+# that drives it: the engine (dist), the algorithm core, peeling, the
+# experiment harness, the public API, and the graph substrate whose
+# Indexed snapshots are shared across the worker pool.
 race:
-	$(GO) test -race ./internal/dist ./internal/core
+	$(GO) test -race ./internal/dist ./internal/core ./internal/peel ./internal/exp ./internal/graph .
+
+# Short fuzz runs of every Fuzz* target (10s each) so the fuzzers
+# execute somewhere instead of shipping as dormant seed-corpus tests.
+# go test -fuzz accepts exactly one target per invocation.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadJSON$$' -fuzztime 10s ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzGraphOps$$' -fuzztime 10s ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzRecognize$$' -fuzztime 10s ./internal/interval
+	$(GO) test -run '^$$' -fuzz '^FuzzChordalPipeline$$' -fuzztime 10s ./internal/interval
+
+# The full CI gate: compile, vet, chordalvet, race-detect the concurrent
+# core, then run the whole test suite. .github/workflows/ci.yml runs
+# exactly this target.
+ci: build vet lint race test
 
 # Quick-mode benchmark smoke: one iteration of the substrate and
 # experiment benchmarks, with allocation reporting. Finishes in minutes.

@@ -1,0 +1,121 @@
+// Command chordalvet runs the repo's determinism and concurrency
+// analyzers (internal/analysis) over every package in the module and
+// exits nonzero if any diagnostic survives. It is stdlib-only: packages
+// are loaded with go/parser and type-checked with go/types against the
+// source importer, so the tool needs no compiled export data, no
+// network, and no modules beyond this repository.
+//
+// Usage:
+//
+//	chordalvet [flags] [dir]
+//
+// dir is a directory inside the module to vet (default "."); the whole
+// module containing it is always loaded, so "./..." is accepted as an
+// alias for the module root. Diagnostics can be suppressed per line with
+// a `//chordalvet:ignore <analyzers> <reason>` comment (see package
+// analysis).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("chordalvet", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("run", "", "run only analyzers whose name matches this regexp")
+	verbose := fs.Bool("v", false, "report the packages loaded and analyzers run")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		re, err := regexp.Compile(*only)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chordalvet: bad -run pattern: %v\n", err)
+			return 2
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range analyzers {
+			if re.MatchString(a.Name) {
+				kept = append(kept, a)
+			}
+		}
+		if len(kept) == 0 {
+			fmt.Fprintf(os.Stderr, "chordalvet: -run %q matches no analyzer\n", *only)
+			return 2
+		}
+		analyzers = kept
+	}
+
+	dir := "."
+	if fs.NArg() > 0 {
+		// "./..." and friends mean "the module around here".
+		dir = strings.TrimSuffix(fs.Arg(0), "...")
+		if dir == "" {
+			dir = "."
+		}
+	}
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chordalvet: %v\n", err)
+		return 2
+	}
+
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chordalvet: %v\n", err)
+		return 2
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "chordalvet: loaded %d packages from %s\n", len(pkgs), root)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "chordalvet: running %s\n", a.Name)
+		}
+	}
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "chordalvet: %d issue(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks upward from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

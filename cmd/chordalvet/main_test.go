@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestShippedTreeIsClean is the gate behind `make lint`: the repo's own
+// source must produce zero diagnostics from the full analyzer suite.
+// Violations either get fixed or carry an explicit chordalvet:ignore
+// justification; silent regressions fail CI here.
+func TestShippedTreeIsClean(t *testing.T) {
+	pkgs, err := analysis.LoadModule("../..")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; loader is missing the module tree", len(pkgs))
+	}
+	diags := analysis.Run(pkgs, analysis.All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestListAndBadFlags(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Errorf("run(-list) = %d, want 0", got)
+	}
+	if got := run([]string{"-run", "("}); got != 2 {
+		t.Errorf("run(-run '(') = %d, want 2", got)
+	}
+	if got := run([]string{"-run", "nosuchanalyzer"}); got != 2 {
+		t.Errorf("run(-run nosuchanalyzer) = %d, want 2", got)
+	}
+}
+
+func TestRunOverModuleRoot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full module load in -short mode")
+	}
+	// "../../..." exercises the ./... spelling and the module-root walk.
+	if got := run([]string{"-run", "wallclock", "../../..."}); got != 0 {
+		t.Errorf("run over module root = %d, want 0", got)
+	}
+}

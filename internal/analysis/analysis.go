@@ -1,0 +1,188 @@
+// Package analysis is chordalvet's engine: a from-scratch, stdlib-only
+// static-analysis driver (go/parser + go/types, no external modules) plus
+// the repo-specific analyzers that guard the determinism and concurrency
+// invariants the paper's reproduction depends on. Konrad–Zamaraev's
+// algorithms are deterministic LOCAL protocols whose analysis leans on
+// canonical tie-breaking everywhere (σ-word orders on cliques, peeling
+// order, message delivery order); a single unsorted map iteration feeding
+// an output table, an unseeded random source, or a wall-clock read in the
+// simulation core silently breaks bit-identical reproducibility. The
+// analyzers encode those invariants so they are enforced at build time
+// rather than discovered in a flaky cross-check benchmark.
+//
+// Diagnostics can be suppressed with a directive comment on the offending
+// line or the line directly above it:
+//
+//	//chordalvet:ignore maporder frontier order does not affect the result
+//
+// The first fields that match analyzer names select which analyzers are
+// silenced; the rest of the line is a free-form justification. A directive
+// naming no analyzer silences all of them (use sparingly).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check run over every loaded package.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in output and in
+	// chordalvet:ignore directives.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer guards.
+	Doc string
+	// Run inspects a single package and reports diagnostics via the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	// PkgPath is the package's import path within the module.
+	PkgPath string
+	Info    *types.Info
+	diags   *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the full chordalvet analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapOrder,
+		SnapshotMut,
+		NoGlobalRand,
+		WallClock,
+		FloatCmp,
+		InboxEscape,
+	}
+}
+
+// Run executes the given analyzers over the loaded packages, applies
+// chordalvet:ignore directives, and returns the surviving diagnostics
+// sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				PkgPath:  pkg.Path,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	diags = filterIgnored(pkgs, analyzers, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreDirective is one parsed chordalvet:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers map[string]bool // empty means "all analyzers"
+}
+
+const directivePrefix = "chordalvet:ignore"
+
+// filterIgnored drops diagnostics covered by an ignore directive on the
+// same line or the line directly above.
+func filterIgnored(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	type key struct {
+		file string
+		line int
+	}
+	directives := make(map[key]ignoreDirective)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, directivePrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(text, directivePrefix)
+					d := ignoreDirective{analyzers: make(map[string]bool)}
+					for _, field := range strings.Fields(rest) {
+						if known[field] {
+							d.analyzers[field] = true
+						} else {
+							break // remaining fields are the justification
+						}
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					d.file, d.line = pos.Filename, pos.Line
+					directives[key{d.file, d.line}] = d
+				}
+			}
+		}
+	}
+	if len(directives) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, diag := range diags {
+		suppressed := false
+		for _, line := range []int{diag.Pos.Line, diag.Pos.Line - 1} {
+			if d, ok := directives[key{diag.Pos.Filename, line}]; ok {
+				if len(d.analyzers) == 0 || d.analyzers[diag.Analyzer] {
+					suppressed = true
+					break
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	return out
+}

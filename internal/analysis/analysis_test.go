@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation pattern from a `// want `+"`re`"+` comment.
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// expectation is one // want comment: a regexp the diagnostic message at
+// that file:line must match.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// loadExpectations scans every .go file under dir for want comments.
+func loadExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		scanner := bufio.NewScanner(f)
+		for line := 1; scanner.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(scanner.Text())
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				return fmt.Errorf("%s:%d: bad want pattern: %w", path, line, err)
+			}
+			abs, err := filepath.Abs(path)
+			if err != nil {
+				return err
+			}
+			wants = append(wants, &expectation{file: abs, line: line, pattern: re})
+		}
+		return scanner.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// runFixture loads testdata/<fixture> as its own module, runs the given
+// analyzers through the full driver (including ignore filtering), and
+// checks the diagnostics against the fixture's want comments: every
+// diagnostic must be expected, and every expectation must fire.
+func runFixture(t *testing.T, analyzers []*Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", fixture)
+	pkgs, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s loaded no packages", fixture)
+	}
+	wants := loadExpectations(t, dir)
+	diags := Run(pkgs, analyzers)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if !w.pattern.MatchString(d.Message) {
+				t.Errorf("%s: diagnostic %q does not match want pattern %q", d.Pos, d.Message, w.pattern)
+			}
+			w.matched = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// TestAnalyzers proves each analyzer flags its seeded violations and
+// stays quiet on the blessed idioms sitting next to them.
+func TestAnalyzers(t *testing.T) {
+	tests := []struct {
+		analyzer *Analyzer
+		fixture  string
+	}{
+		{MapOrder, "maporder"},
+		{SnapshotMut, "snapshotmut"},
+		{NoGlobalRand, "noglobalrand"},
+		{WallClock, "wallclock"},
+		{FloatCmp, "floatcmp"},
+		{InboxEscape, "inboxescape"},
+	}
+	names := make(map[string]bool)
+	for _, tc := range tests {
+		names[tc.fixture] = true
+		tc := tc
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			t.Parallel()
+			runFixture(t, []*Analyzer{tc.analyzer}, tc.fixture)
+		})
+	}
+	// Every analyzer in the suite must have a fixture above.
+	for _, a := range All() {
+		if !names[a.Name] {
+			t.Errorf("analyzer %s has no fixture in TestAnalyzers", a.Name)
+		}
+	}
+}
+
+// TestIgnoreDirective runs the full suite over the ignore fixture:
+// directives above the line, on the line, and bare suppress; a directive
+// naming the wrong analyzer does not.
+func TestIgnoreDirective(t *testing.T) {
+	runFixture(t, All(), "ignore")
+}
+
+func TestPathHasSegments(t *testing.T) {
+	cases := []struct {
+		path, segs string
+		want       bool
+	}{
+		{"repro/internal/dist", "internal/dist", true},
+		{"wallfix/internal/dist", "internal/dist", true},
+		{"repro/internal/distillery", "internal/dist", false},
+		{"repro/internal/core", "internal/core", true},
+		{"internal/core", "internal/core", true},
+		{"repro/core", "internal/core", false},
+		{"repro", "internal/dist", false},
+	}
+	for _, c := range cases {
+		if got := pathHasSegments(c.path, c.segs); got != c.want {
+			t.Errorf("pathHasSegments(%q, %q) = %v, want %v", c.path, c.segs, got, c.want)
+		}
+	}
+}
+
+// TestAnalyzerMetadata keeps the suite's names unique and documented:
+// ignore directives address analyzers by name.
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing metadata", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatCmp flags == and != between floating-point values. The repo's
+// approximation-ratio checks (colors/ω, |MIS|/α, the (1+ε) (7/8)-bounds
+// of Theorems 2 and 4) are computed as float64 quotients; exact equality
+// on those is sensitive to evaluation order and optimization level, so a
+// refactor that is semantically neutral can flip a fidelity table from
+// "ok" to "MISMATCH". Comparisons must be phrased with an explicit
+// tolerance or performed on the integer numerators/denominators.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "exact ==/!= comparison of floating-point values in ratio code",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := pass.Info.TypeOf(be.X), pass.Info.TypeOf(be.Y)
+			if tx == nil || ty == nil {
+				return true
+			}
+			if isFloat(tx) || isFloat(ty) {
+				pass.Reportf(be.Pos(), "compares floats with %s; exact float equality is evaluation-order sensitive — use an explicit tolerance or compare integer numerators", be.Op)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis. Only non-test files are loaded: the determinism invariants
+// chordalvet guards concern production simulation code, and tests are
+// free to use wall clocks and ad-hoc randomness.
+type Package struct {
+	// Path is the package's import path (module path + relative dir).
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadModule parses and type-checks every non-test package of the Go
+// module rooted at dir (the directory containing go.mod). Intra-module
+// imports resolve against the freshly checked packages; all other imports
+// (the standard library) resolve through go/importer's source importer,
+// so the loader needs no compiled export data and no external tooling.
+func LoadModule(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parseModule(fset, root, modPath)
+	if err != nil {
+		return nil, err
+	}
+	order, err := topoSort(pkgs)
+	if err != nil {
+		return nil, err
+	}
+	imp := &moduleImporter{
+		checked:  make(map[string]*types.Package, len(pkgs)),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	for _, pkg := range order {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", pkg.Path, err)
+		}
+		pkg.Types = tpkg
+		pkg.Info = info
+		imp.checked[pkg.Path] = tpkg
+	}
+	return order, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("chordalvet needs a module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// parseModule walks the module tree and parses every non-test package.
+// testdata, vendor, hidden directories, and nested modules are skipped,
+// matching the go tool's notion of "packages in this module".
+func parseModule(fset *token.FileSet, root, modPath string) ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root {
+			if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		pkg, err := parseDir(fset, root, modPath, path)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	})
+	return pkgs, err
+}
+
+// parseDir parses the non-test Go files of one directory, returning nil
+// if the directory holds no buildable Go files.
+func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files}, nil
+}
+
+// topoSort orders packages so every intra-module import is checked before
+// its importer. Import cycles are a hard error, as in the go tool.
+func topoSort(pkgs []*Package) ([]*Package, error) {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[string]int, len(pkgs))
+	var order []*Package
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.Path] {
+		case visiting:
+			return fmt.Errorf("import cycle through %s", p.Path)
+		case done:
+			return nil
+		}
+		state[p.Path] = visiting
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if dep, ok := byPath[path]; ok {
+					if err := visit(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		state[p.Path] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves intra-module imports from the freshly checked
+// packages and everything else (the standard library) from source.
+type moduleImporter struct {
+	checked  map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.checked[path]; ok {
+		return pkg, nil
+	}
+	return m.fallback.Import(path)
+}

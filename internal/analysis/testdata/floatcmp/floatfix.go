@@ -1,0 +1,43 @@
+// Package floatfix seeds exact float comparisons next to the blessed
+// tolerance-based and integer-based forms.
+package floatfix
+
+func ratioEqual(a, b float64) bool {
+	return a == b // want `compares floats with ==`
+}
+
+func ratioNotEqual(a, b float32) bool {
+	return a != b // want `compares floats with !=`
+}
+
+func untypedConst(x float64) bool {
+	return x == 1.0 // want `compares floats with ==`
+}
+
+func mixedExpr(colors, omega int) bool {
+	return float64(colors)/float64(omega) == 1.125 // want `compares floats with ==`
+}
+
+// integer comparisons are exact and fine.
+func intsAreFine(a, b int) bool {
+	return a == b
+}
+
+// ordered float comparisons are deterministic on stored values.
+func orderingIsFine(a, b float64) bool {
+	return a < b
+}
+
+// the blessed form: explicit tolerance.
+func withinTolerance(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// or compare the integer numerators directly.
+func exactOnIntegers(colors, omega, num, den int) bool {
+	return colors*den == num*omega
+}

@@ -1,0 +1,25 @@
+// Package ignfix exercises the chordalvet:ignore directive: directives
+// on the preceding line, on the same line, with and without analyzer
+// names, and with the wrong analyzer named (which must not suppress).
+package ignfix
+
+import "math/rand"
+
+func lineAbove() int {
+	//chordalvet:ignore noglobalrand fixture accepts irreproducibility here
+	return rand.Int()
+}
+
+func sameLine() int {
+	return rand.Int() //chordalvet:ignore noglobalrand same-line directive
+}
+
+func bareDirectiveSilencesAll() int {
+	//chordalvet:ignore this free-form justification names no analyzer
+	return rand.Int()
+}
+
+func wrongAnalyzerNamed() int {
+	//chordalvet:ignore wallclock the wrong analyzer is named, so this still fires
+	return rand.Int() // want `calls math/rand.Int on the shared global source`
+}

@@ -1,0 +1,12 @@
+// Package dist mirrors the engine types a Protocol implementation sees:
+// the inbox is a []Message whose backing array the engine reuses.
+package dist
+
+type ID int
+
+type Message struct {
+	From    ID
+	Payload any
+}
+
+type Context struct{}

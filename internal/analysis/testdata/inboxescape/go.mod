@@ -1,0 +1,3 @@
+module inboxfix
+
+go 1.22

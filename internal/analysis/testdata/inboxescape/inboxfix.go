@@ -1,0 +1,74 @@
+// Package inboxfix seeds Round handlers that retain the engine-owned
+// inbox slice, next to handlers that copy correctly.
+package inboxfix
+
+import "inboxfix/dist"
+
+type keeper struct {
+	saved []dist.Message
+}
+
+func (k *keeper) Round(ctx *dist.Context, inbox []dist.Message) {
+	k.saved = inbox // want `stores the per-round inbox slice in k.saved`
+}
+
+// non-Round methods are outside the engine contract and not flagged.
+func (k *keeper) handle(msgs []dist.Message) {
+	k.saved = msgs
+}
+
+type slicer struct {
+	tail []dist.Message
+}
+
+func (s *slicer) Round(ctx *dist.Context, inbox []dist.Message) {
+	if len(inbox) > 1 {
+		s.tail = inbox[1:] // want `stores the per-round inbox slice in s.tail`
+	}
+}
+
+type aliaser struct {
+	kept []dist.Message
+}
+
+func (a *aliaser) Round(ctx *dist.Context, inbox []dist.Message) {
+	tmp := inbox
+	a.kept = tmp // want `stores the per-round inbox slice in a.kept`
+}
+
+type mapStore struct {
+	byRound map[int][]dist.Message
+	round   int
+}
+
+func (m *mapStore) Round(ctx *dist.Context, inbox []dist.Message) {
+	m.byRound[m.round] = inbox // want `stores the per-round inbox slice into a container`
+	m.round++
+}
+
+type leaker struct{}
+
+func (l *leaker) Round(ctx *dist.Context, inbox []dist.Message) {
+	go func(msgs []dist.Message) { _ = msgs }(inbox) // want `passes the per-round inbox slice to a goroutine`
+}
+
+func (l *leaker) Done() bool  { return true }
+func (l *leaker) Output() any { return nil }
+
+// copier shows the blessed patterns: Message values are copies, and
+// append copies the records into an owned backing array.
+type copier struct {
+	saved    []dist.Message
+	lastFrom dist.ID
+}
+
+func (c *copier) Round(ctx *dist.Context, inbox []dist.Message) {
+	c.saved = append(c.saved[:0], inbox...)
+	for _, m := range inbox {
+		c.lastFrom = m.From
+	}
+	if len(inbox) > 0 {
+		last := inbox[len(inbox)-1]
+		_ = last
+	}
+}

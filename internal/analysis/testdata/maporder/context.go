@@ -1,0 +1,35 @@
+package mapfix
+
+import "sort"
+
+// Context mirrors the shape of dist.Context so the message-emission arm
+// of maporder can be exercised without importing the real engine.
+type Context struct{}
+
+func (c *Context) Send(to int, payload any) {}
+func (c *Context) Broadcast(payload any)    {}
+
+func sendInside(c *Context, m map[int]bool) {
+	for k := range m {
+		c.Send(k, "ping") // want `sends protocol messages inside a range over a map`
+	}
+}
+
+func broadcastInside(c *Context, m map[int]bool) {
+	for range m {
+		c.Broadcast("ping") // want `sends protocol messages inside a range over a map`
+	}
+}
+
+// sendFromSortedKeys is the blessed pattern: collect, sort, then send
+// while ranging over the sorted slice.
+func sendFromSortedKeys(c *Context, m map[int]bool) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		c.Send(k, "ping")
+	}
+}

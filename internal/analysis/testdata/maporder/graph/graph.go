@@ -1,0 +1,24 @@
+// Package graph is a miniature stand-in for the repo's graph package,
+// just large enough for the maporder fixtures: NewSet is recognized as a
+// canonicalizing constructor.
+package graph
+
+import "sort"
+
+type ID int
+
+type Set []ID
+
+// NewSet sorts and deduplicates, canonicalizing accumulation order.
+func NewSet(ids ...ID) Set {
+	s := make(Set, len(ids))
+	copy(s, ids)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

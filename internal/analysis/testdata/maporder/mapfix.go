@@ -1,0 +1,97 @@
+// Package mapfix seeds deliberate maporder violations plus the repo's
+// blessed collect-then-sort idioms, which must stay quiet.
+package mapfix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mapfix/graph"
+)
+
+func appendNoSort(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `appends to keys while ranging over a map`
+	}
+	return keys
+}
+
+func appendThenSort(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func newSetCanonicalizes(m map[graph.ID]bool) graph.Set {
+	var out graph.Set
+	for k := range m {
+		out = append(out, k)
+	}
+	return graph.NewSet(out...)
+}
+
+func printsInside(m map[int]string) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `writes output inside a range over a map`
+	}
+}
+
+func builderWrite(m map[int]string, b *strings.Builder) {
+	for _, v := range m {
+		b.WriteString(v) // want `writes to strings.Builder inside a range over a map`
+	}
+}
+
+type table struct {
+	rows []string
+}
+
+func fieldAppend(t *table, m map[string]int) {
+	for k := range m {
+		t.rows = append(t.rows, k) // want `appends to t.rows while ranging over a map`
+	}
+}
+
+func fieldAppendThenSort(t *table, m map[string]int) {
+	for k := range m {
+		t.rows = append(t.rows, k)
+	}
+	sort.Strings(t.rows)
+}
+
+// perIteration accumulates into a slice that restarts every iteration;
+// no cross-iteration order can leak.
+func perIteration(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		total += len(local)
+	}
+	return total
+}
+
+// commutative map writes are fine.
+func histogram(m map[string]int) map[int]int {
+	out := make(map[int]int)
+	for _, v := range m {
+		out[v]++
+	}
+	return out
+}
+
+// slice ranges are never flagged.
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module randfix
+
+go 1.22

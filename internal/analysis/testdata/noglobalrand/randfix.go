@@ -1,0 +1,38 @@
+// Package randfix seeds global-source and wall-clock-seeded randomness
+// violations next to the repo's blessed explicit-seed idiom.
+package randfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalIntn(n int) int {
+	return rand.Intn(n) // want `calls math/rand.Intn on the shared global source`
+}
+
+func globalInt63() int64 {
+	return rand.Int63() // want `calls math/rand.Int63 on the shared global source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `calls math/rand.Shuffle on the shared global source`
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeds math/rand.NewSource from the wall clock`
+}
+
+// seeded is the blessed idiom: an explicit seed threaded by the caller.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func derivedSeed(seed int64, v int) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ int64(v)*0x5851f42d4c957f2d))
+}
+
+// methods on an owned *rand.Rand never touch the global source.
+func drawFrom(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}

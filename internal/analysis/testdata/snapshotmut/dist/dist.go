@@ -1,0 +1,11 @@
+// Package dist mirrors the engine Context whose Neighbors view is
+// shared with the graph snapshot.
+package dist
+
+import "snapfix/graph"
+
+type Context struct {
+	nbrIDs []graph.ID
+}
+
+func (c *Context) Neighbors() []graph.ID { return c.nbrIDs }

@@ -1,0 +1,22 @@
+// Package graph mirrors the shapes of the repo's graph substrate that
+// snapshotmut reasons about: accessors returning shared read-only views.
+package graph
+
+type ID int
+
+type Graph struct {
+	adj map[ID][]ID
+}
+
+// Neighbors returns a cached slice shared between callers.
+func (g *Graph) Neighbors(v ID) []ID { return g.adj[v] }
+
+type Indexed struct {
+	ids    []ID
+	colIdx []int32
+	colID  []ID
+}
+
+func (ix *Indexed) IDs() []ID                     { return ix.ids }
+func (ix *Indexed) NeighborIDs(i int) []ID        { return ix.colID }
+func (ix *Indexed) NeighborIndices(i int) []int32 { return ix.colIdx }

@@ -1,0 +1,66 @@
+// Package snapfix seeds deliberate mutations of shared snapshot views
+// next to the blessed copy-first idioms.
+package snapfix
+
+import (
+	"slices"
+	"sort"
+
+	"snapfix/dist"
+	"snapfix/graph"
+)
+
+func sortsView(g *graph.Graph, v graph.ID) {
+	nb := g.Neighbors(v)
+	slices.Sort(nb) // want `sorts the shared snapshot view from graph.Graph.Neighbors`
+}
+
+func sortsViewDirect(ix *graph.Indexed) {
+	sort.Slice(ix.IDs(), func(i, j int) bool { return false }) // want `sorts the shared snapshot view from graph.Indexed.IDs`
+}
+
+func writesView(ix *graph.Indexed) {
+	ids := ix.IDs()
+	ids[0] = 7 // want `writes into the shared snapshot view from graph.Indexed.IDs`
+}
+
+func writesThroughAlias(ix *graph.Indexed, i int) {
+	row := ix.NeighborIDs(i)
+	tail := row[1:]
+	tail[0] = 3 // want `writes into the shared snapshot view from graph.Indexed.NeighborIDs`
+}
+
+func incrementsView(ix *graph.Indexed, i int) {
+	ix.NeighborIndices(i)[0]++ // want `writes into the shared snapshot view from graph.Indexed.NeighborIndices`
+}
+
+func appendsView(ctx *dist.Context) []graph.ID {
+	return append(ctx.Neighbors(), 99) // want `appends onto the shared snapshot view from dist.Context.Neighbors`
+}
+
+func copiesIntoView(ix *graph.Indexed, src []graph.ID) {
+	copy(ix.IDs(), src) // want `copies into the shared snapshot view from graph.Indexed.IDs`
+}
+
+// copyThenSort is the blessed idiom: clone the view, mutate the clone.
+func copyThenSort(g *graph.Graph, v graph.ID) []graph.ID {
+	cp := append([]graph.ID(nil), g.Neighbors(v)...)
+	slices.Sort(cp)
+	return cp
+}
+
+func copyIntoOwned(ctx *dist.Context) []graph.ID {
+	nb := ctx.Neighbors()
+	out := make([]graph.ID, len(nb))
+	copy(out, nb)
+	return out
+}
+
+// reading the view is always fine.
+func sumView(ix *graph.Indexed, i int) graph.ID {
+	var total graph.ID
+	for _, u := range ix.NeighborIDs(i) {
+		total += u
+	}
+	return total
+}

@@ -1,0 +1,3 @@
+module wallfix
+
+go 1.22

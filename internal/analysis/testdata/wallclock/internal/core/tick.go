@@ -1,0 +1,6 @@
+// Package core stands in for the guarded algorithm-core package.
+package core
+
+import "time"
+
+var epoch = time.Now() // want `calls time.Now in wallfix/internal/core`

@@ -1,0 +1,17 @@
+// Package dist stands in for the guarded simulation engine package.
+package dist
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want `calls time.Now in wallfix/internal/dist`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `calls time.Since in wallfix/internal/dist`
+}
+
+// durations as data are fine; only clock reads are flagged.
+func timeout() time.Duration {
+	return 5 * time.Second
+}

@@ -1,0 +1,7 @@
+// Package tools is outside the guarded simulation core: wall-clock
+// reads here are legitimate (progress reporting, experiment timing).
+package tools
+
+import "time"
+
+func Now() time.Time { return time.Now() }

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// forEachFunc invokes fn for every function or method body in the pass,
+// including function literals. Literals nested inside a body are also
+// visited on their own, so analyses that scan "the enclosing function"
+// see each body exactly once as the root.
+func forEachFunc(pass *Pass, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				if v.Body != nil {
+					fn(v, v.Body)
+				}
+			case *ast.FuncLit:
+				fn(nil, v.Body)
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves a call expression to the function or method object
+// it invokes, or nil for indirect calls and builtins.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// isPkgCall reports whether call invokes a package-level function of the
+// package with the given import path whose name is in names. An empty
+// names list matches any function of the package.
+func isPkgCall(pass *Pass, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, name := range names {
+		if fn.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// recvTypeName returns the package name and named-type name of a method
+// call's receiver ("graph", "Indexed"), or empty strings for non-methods.
+// Matching on names rather than full import paths lets the analyzers work
+// identically on the real repo and on the self-contained stub packages in
+// testdata fixtures.
+func recvTypeName(pass *Pass, call *ast.CallExpr) (pkgName, typeName, method string) {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return "", "", ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", ""
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() != nil {
+		pkgName = obj.Pkg().Name()
+	}
+	return pkgName, obj.Name(), fn.Name()
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type.
+func isFloat(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// identObj resolves an expression to the object of the identifier it
+// denotes, unwrapping parentheses; nil for anything but a plain
+// identifier.
+func identObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.Info.ObjectOf(id)
+}
+
+// isInPlaceSort reports whether call is a standard-library call that
+// reorders its first argument in place (sort.Slice, slices.Sort, ...).
+func isInPlaceSort(pass *Pass, call *ast.CallExpr) bool {
+	return isPkgCall(pass, call, "sort",
+		"Slice", "SliceStable", "Sort", "Stable", "Ints", "Strings", "Float64s") ||
+		isPkgCall(pass, call, "slices",
+			"Sort", "SortFunc", "SortStableFunc", "Reverse")
+}
+
+// isAppendCall reports whether call is the append builtin.
+func isAppendCall(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := pass.Info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}
+
+// pathHasSegments reports whether the import path contains the given
+// consecutive slash-separated segments ("internal/dist" matches
+// "repro/internal/dist" but not "repro/internal/distillery").
+func pathHasSegments(path, segments string) bool {
+	want := splitSlash(segments)
+	have := splitSlash(path)
+	for i := 0; i+len(want) <= len(have); i++ {
+		match := true
+		for j, s := range want {
+			if have[i+j] != s {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func splitSlash(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '/' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

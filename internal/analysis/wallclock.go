@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WallClock flags wall-clock reads inside the deterministic simulation
+// core. In the LOCAL model the only notion of time is the round counter:
+// the engine's schedules (pooled, per-node, sequential) are promised to
+// be observationally identical, and any time.Now/time.Since in protocol
+// or peeling code would let wall-clock jitter steer control flow and
+// break that promise. Benchmarks live in _test.go files, which the
+// loader does not feed to analyzers, so timing instrumentation remains
+// free to exist where it belongs.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "time.Now/time.Since in the deterministic simulation core (dist, core, peel)",
+	Run:  runWallClock,
+}
+
+// wallClockGuardedPaths are the package path segments whose code must be
+// wall-clock free.
+var wallClockGuardedPaths = []string{
+	"internal/dist",
+	"internal/core",
+	"internal/peel",
+}
+
+func runWallClock(pass *Pass) {
+	guarded := false
+	for _, seg := range wallClockGuardedPaths {
+		if pathHasSegments(pass.PkgPath, seg) {
+			guarded = true
+			break
+		}
+	}
+	if !guarded {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgCall(pass, call, "time", "Now", "Since", "Until") {
+				fn := calleeFunc(pass, call)
+				pass.Reportf(call.Pos(), "calls time.%s in %s; the simulation core is deterministic and measures time in rounds — keep wall-clock instrumentation in benchmarks", fn.Name(), pass.PkgPath)
+			}
+			return true
+		})
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/dist"
 	"repro/internal/graph"
@@ -161,13 +162,7 @@ func RunCorrectionPhase(g *graph.Graph, layer map[graph.ID]int, parent map[graph
 			node.need[l] = gate
 		}
 		// Descending layer order (CorrectChildren processes lv−1 … 1).
-		for i := 0; i < len(node.childLayers); i++ {
-			for j := i + 1; j < len(node.childLayers); j++ {
-				if node.childLayers[j] > node.childLayers[i] {
-					node.childLayers[i], node.childLayers[j] = node.childLayers[j], node.childLayers[i]
-				}
-			}
-		}
+		slices.SortFunc(node.childLayers, func(a, b int) int { return b - a })
 		return node
 	})
 	res, err := eng.Run(20 * (g.NumNodes() + 10) * (k + 5))

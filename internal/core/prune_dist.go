@@ -409,10 +409,11 @@ func decideNodeRule(ballGi *graph.Graph, v graph.ID, rule decideRule, radius int
 				members[u] = true
 			}
 		}
-		var ms []graph.ID
+		ms := make([]graph.ID, 0, len(members))
 		for u := range members {
 			ms = append(ms, u)
 		}
+		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
 		alpha, err := chordal.IndependenceNumber(lv.g.InducedSubgraph(ms))
 		if err != nil {
 			return false, -1, err

@@ -105,8 +105,11 @@ func FromIntervals(ivs []Interval) *graph.Graph {
 	sorted := make([]Interval, len(ivs))
 	copy(sorted, ivs)
 	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Lo != sorted[j].Lo {
-			return sorted[i].Lo < sorted[j].Lo
+		switch {
+		case sorted[i].Lo < sorted[j].Lo:
+			return true
+		case sorted[j].Lo < sorted[i].Lo:
+			return false
 		}
 		return sorted[i].Node < sorted[j].Node
 	})

@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+)
+
+// These tests pin the neighbor-cache invalidation contract that the
+// snapshotmut analyzer reasons about: Neighbors returns a shared cached
+// slice, any mutation of the incident adjacency invalidates exactly the
+// affected entries, and a slice handed out before the mutation remains a
+// valid (sorted) pre-mutation snapshot because cached slices are never
+// modified in place.
+
+// freshNeighbors computes v's sorted adjacency without the cache.
+func freshNeighbors(g *Graph, v ID) []ID {
+	var out []ID
+	g.ForEachNeighbor(v, func(u ID) { out = append(out, u) })
+	slices.Sort(out)
+	return out
+}
+
+func wantNeighbors(t *testing.T, g *Graph, v ID, want []ID) {
+	t.Helper()
+	got := g.Neighbors(v)
+	if !slices.Equal(got, want) {
+		t.Fatalf("Neighbors(%d) = %v, want %v", v, got, want)
+	}
+	if !slices.IsSorted(got) {
+		t.Fatalf("Neighbors(%d) = %v is not sorted", v, got)
+	}
+	if fresh := freshNeighbors(g, v); !slices.Equal(got, fresh) {
+		t.Fatalf("Neighbors(%d) = %v disagrees with adjacency %v", v, got, fresh)
+	}
+}
+
+func TestNeighborCacheAddEdgeInvalidates(t *testing.T) {
+	g := FromEdges(nil, [][2]ID{{1, 2}, {1, 4}})
+	wantNeighbors(t, g, 1, []ID{2, 4}) // populate cache
+	wantNeighbors(t, g, 2, []ID{1})
+
+	g.AddEdge(1, 3)
+	wantNeighbors(t, g, 1, []ID{2, 3, 4}) // re-query reflects the new edge, sorted in the middle
+	wantNeighbors(t, g, 3, []ID{1})
+	wantNeighbors(t, g, 2, []ID{1}) // untouched node keeps a correct entry
+
+	// Adding an existing edge is a no-op and must not corrupt anything.
+	g.AddEdge(3, 1)
+	wantNeighbors(t, g, 1, []ID{2, 3, 4})
+}
+
+func TestNeighborCacheRemoveEdgeInvalidates(t *testing.T) {
+	g := FromEdges(nil, [][2]ID{{1, 2}, {1, 3}, {1, 4}, {2, 3}})
+	wantNeighbors(t, g, 1, []ID{2, 3, 4})
+	wantNeighbors(t, g, 3, []ID{1, 2})
+
+	g.RemoveEdge(1, 3)
+	wantNeighbors(t, g, 1, []ID{2, 4})
+	wantNeighbors(t, g, 3, []ID{2})
+
+	// Removing a non-existent edge is a no-op.
+	g.RemoveEdge(1, 3)
+	g.RemoveEdge(1, 99)
+	wantNeighbors(t, g, 1, []ID{2, 4})
+}
+
+func TestNeighborCacheRemoveNodeInvalidatesAllIncident(t *testing.T) {
+	g := FromEdges(nil, [][2]ID{{1, 2}, {1, 3}, {2, 3}, {3, 4}})
+	for _, v := range g.Nodes() {
+		wantNeighbors(t, g, v, freshNeighbors(g, v)) // warm every cache entry
+	}
+	g.RemoveNode(3)
+	wantNeighbors(t, g, 1, []ID{2})
+	wantNeighbors(t, g, 2, []ID{1})
+	wantNeighbors(t, g, 4, nil)
+	if got := g.Neighbors(3); len(got) != 0 {
+		t.Fatalf("Neighbors of removed node = %v, want empty", got)
+	}
+}
+
+func TestNeighborCacheMutateAfterQuerySequence(t *testing.T) {
+	// An interleaved add/remove/re-query sequence, checking the cache
+	// against the raw adjacency at every step.
+	g := New()
+	type step struct {
+		op   string
+		u, v ID
+	}
+	steps := []step{
+		{"add", 1, 2}, {"add", 2, 3}, {"add", 1, 3}, {"add", 3, 4},
+		{"del", 1, 2}, {"add", 1, 5}, {"add", 2, 5}, {"del", 2, 3},
+		{"add", 1, 2}, {"del", 3, 4}, {"add", 4, 5}, {"add", 0, 1},
+	}
+	for i, s := range steps {
+		switch s.op {
+		case "add":
+			g.AddEdge(s.u, s.v)
+		case "del":
+			g.RemoveEdge(s.u, s.v)
+		}
+		// Query a fixed probe set every step so stale entries would
+		// survive into a later comparison if invalidation missed one.
+		for _, v := range []ID{0, 1, 2, 3, 4, 5} {
+			got := g.Neighbors(v)
+			if fresh := freshNeighbors(g, v); !slices.Equal(got, fresh) {
+				t.Fatalf("step %d (%s %d-%d): Neighbors(%d) = %v, want %v",
+					i, s.op, s.u, s.v, v, got, fresh)
+			}
+		}
+	}
+}
+
+func TestNeighborsPreMutationSnapshotStable(t *testing.T) {
+	g := FromEdges(nil, [][2]ID{{1, 2}, {1, 4}})
+	before := g.Neighbors(1)
+	snapshot := slices.Clone(before)
+
+	g.AddEdge(1, 3)
+	g.RemoveEdge(1, 2)
+	g.AddEdge(1, 0)
+
+	// The slice handed out earlier is never modified in place.
+	if !slices.Equal(before, snapshot) {
+		t.Fatalf("pre-mutation Neighbors slice changed: %v, want %v", before, snapshot)
+	}
+	wantNeighbors(t, g, 1, []ID{0, 3, 4})
+}
+
+func TestClosedNeighborsAfterMutation(t *testing.T) {
+	g := FromEdges(nil, [][2]ID{{2, 1}, {2, 5}})
+	if got := g.ClosedNeighbors(2); !slices.Equal(got, []ID{1, 2, 5}) {
+		t.Fatalf("ClosedNeighbors(2) = %v, want [1 2 5]", got)
+	}
+	g.AddEdge(2, 3)
+	if got := g.ClosedNeighbors(2); !slices.Equal(got, []ID{1, 2, 3, 5}) {
+		t.Fatalf("ClosedNeighbors(2) after AddEdge = %v, want [1 2 3 5]", got)
+	}
+	g.RemoveEdge(2, 1)
+	if got := g.ClosedNeighbors(2); !slices.Equal(got, []ID{2, 3, 5}) {
+		t.Fatalf("ClosedNeighbors(2) after RemoveEdge = %v, want [2 3 5]", got)
+	}
+}

@@ -283,6 +283,7 @@ func (g *Graph) BFSDistances(src ID) map[ID]int {
 			for u := range g.adj[v] {
 				if _, seen := dist[u]; !seen {
 					dist[u] = d + 1
+					//chordalvet:ignore maporder frontier order does not affect the distance map: BFS levels are order-independent
 					next = append(next, u)
 				}
 			}
@@ -312,6 +313,7 @@ func (g *Graph) Distance(u, v ID) int {
 				}
 				if _, seen := dist[x]; !seen {
 					dist[x] = d + 1
+					//chordalvet:ignore maporder frontier order does not affect the returned distance
 					next = append(next, x)
 				}
 			}
@@ -332,6 +334,7 @@ func (g *Graph) Ball(v ID, r int) []ID {
 			for u := range g.adj[w] {
 				if _, seen := dist[u]; !seen {
 					dist[u] = step + 1
+					//chordalvet:ignore maporder frontier order does not affect the ball: members are collected from the map and sorted below
 					next = append(next, u)
 				}
 			}

@@ -43,6 +43,7 @@ func NewIndexed(g *Graph) *Indexed {
 	for i, v := range ids {
 		ix.rowPtr[i] = int32(len(ix.colIdx))
 		for u := range g.adj[v] {
+			//chordalvet:ignore maporder each CSR row is sorted in place immediately below
 			ix.colIdx = append(ix.colIdx, ix.index[u])
 		}
 		row := ix.colIdx[ix.rowPtr[i]:]

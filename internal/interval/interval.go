@@ -31,8 +31,11 @@ func CliquePathFromModel(ivs []gen.Interval) []graph.Set {
 		events = append(events, event{iv.Lo, true, iv.Node}, event{iv.Hi, false, iv.Node})
 	}
 	sort.Slice(events, func(i, j int) bool {
-		if events[i].pos != events[j].pos {
-			return events[i].pos < events[j].pos
+		switch {
+		case events[i].pos < events[j].pos:
+			return true
+		case events[j].pos < events[i].pos:
+			return false
 		}
 		// Closed intervals: starts before ends at the same point, so
 		// touching intervals count as intersecting.
@@ -196,8 +199,11 @@ func ExactMIS(ivs []gen.Interval) graph.Set {
 	sorted := make([]gen.Interval, len(ivs))
 	copy(sorted, ivs)
 	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Hi != sorted[j].Hi {
-			return sorted[i].Hi < sorted[j].Hi
+		switch {
+		case sorted[i].Hi < sorted[j].Hi:
+			return true
+		case sorted[j].Hi < sorted[i].Hi:
+			return false
 		}
 		return sorted[i].Node < sorted[j].Node
 	})
@@ -221,8 +227,11 @@ func ExactColoring(ivs []gen.Interval) map[graph.ID]int {
 	sorted := make([]gen.Interval, len(ivs))
 	copy(sorted, ivs)
 	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Lo != sorted[j].Lo {
-			return sorted[i].Lo < sorted[j].Lo
+		switch {
+		case sorted[i].Lo < sorted[j].Lo:
+			return true
+		case sorted[j].Lo < sorted[i].Lo:
+			return false
 		}
 		return sorted[i].Node < sorted[j].Node
 	})
