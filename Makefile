@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race fuzz-smoke ci bench-smoke bench experiments
+.PHONY: all build test vet lint race fuzz-smoke ci bench-smoke bench bench-json trace-smoke experiments
 
 all: build test
 
@@ -48,6 +48,24 @@ bench-smoke:
 # Full benchmark sweep (slow).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Machine-readable benchmark record: the engine/flood/prune/peel
+# benchmarks through `go test -json`, post-processed by cmd/benchjson
+# into the repo's perf-trajectory format. BENCH_3.json in the repo root
+# is a recorded run of exactly this target.
+BENCHJSON_OUT ?= BENCH_3.json
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineRound|BenchmarkFloodRadius|BenchmarkFloodN100k|BenchmarkFloodBallCollection|BenchmarkDistributedPruneN256|BenchmarkPeelingN4096' \
+		-benchmem -json . | $(GO) run ./cmd/benchjson -out $(BENCHJSON_OUT)
+
+# Observability smoke: run the tracing workload in quick mode with CPU
+# and heap profiling, leaving the artifacts in ./trace-smoke/. CI uploads
+# this directory so every push records a round trace and profiles.
+trace-smoke:
+	mkdir -p trace-smoke
+	$(GO) run ./cmd/experiments -quick -trace trace-smoke/trace.jsonl \
+		-cpuprofile trace-smoke/cpu.pprof -memprofile trace-smoke/mem.pprof
+	@wc -l trace-smoke/trace.jsonl
 
 # Full experiment tables as recorded in EXPERIMENTS.md (slow).
 experiments:

@@ -1,0 +1,189 @@
+// Command benchjson converts `go test -bench -json` output (the
+// test2json stream) into a compact JSON benchmark record, the format of
+// the repo's BENCH_*.json perf-trajectory files.
+//
+// Usage:
+//
+//	go test -run - -bench 'EngineRound' -benchmem -json | go run ./cmd/benchjson -out BENCH_3.json
+//
+// Plain (non -json) `go test -bench` output is accepted too: any line
+// that is not a test2json event is scanned for benchmark results
+// directly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -cpu suffix intact
+	// (e.g. "BenchmarkEngineRound/n=1000-8").
+	Name string `json:"name"`
+	// Iterations is b.N of the recorded run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline ns/op metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every further value/unit pair ("B/op", "allocs/op",
+	// and any custom b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Record is the whole BENCH_*.json document.
+type Record struct {
+	V          int         `json:"v"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	rec, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// event is the subset of the test2json schema benchjson needs.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+func parse(r io.Reader) (*Record, error) {
+	rec := &Record{
+		V:         1,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	// test2json flushes output as it arrives, so one benchmark result can
+	// span several Output events (the name in one, the numbers in the
+	// next). Reassemble per (package, test) stream and only parse
+	// newline-complete lines.
+	partial := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev event
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				return nil, fmt.Errorf("bad test2json line: %w", err)
+			}
+			if ev.Action != "output" {
+				continue
+			}
+			key := ev.Package + "\x00" + ev.Test
+			text := partial[key] + ev.Output
+			for {
+				nl := strings.IndexByte(text, '\n')
+				if nl < 0 {
+					break
+				}
+				if b, ok := parseBenchLine(text[:nl]); ok {
+					rec.Benchmarks = append(rec.Benchmarks, b)
+				}
+				text = text[nl+1:]
+			}
+			if text == "" {
+				delete(partial, key)
+			} else {
+				partial[key] = text
+			}
+			continue
+		}
+		if b, ok := parseBenchLine(line); ok {
+			rec.Benchmarks = append(rec.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Flush streams whose final line had no trailing newline, in sorted
+	// key order so the pre-sort append order is deterministic.
+	keys := make([]string, 0, len(partial))
+	for k := range partial {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if b, ok := parseBenchLine(partial[k]); ok {
+			rec.Benchmarks = append(rec.Benchmarks, b)
+		}
+	}
+	if len(rec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark results found in input")
+	}
+	sort.SliceStable(rec.Benchmarks, func(i, j int) bool {
+		return rec.Benchmarks[i].Name < rec.Benchmarks[j].Name
+	})
+	return rec, nil
+}
+
+// parseBenchLine parses one `BenchmarkX-8  N  v1 u1  v2 u2 ...` result
+// line, the format specified by the testing package.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: strings.TrimPrefix(fields[0], "Benchmark"), Iterations: iters}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = val
+			sawNs = true
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = make(map[string]float64)
+		}
+		b.Metrics[unit] = val
+	}
+	if !sawNs && b.Metrics == nil {
+		return Benchmark{}, false
+	}
+	return b, true
+}

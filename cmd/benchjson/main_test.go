@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTest2JSONStream(t *testing.T) {
+	in := strings.Join([]string{
+		`{"Action":"start","Package":"repro"}`,
+		`{"Action":"output","Package":"repro","Output":"goos: linux\n"}`,
+		`{"Action":"output","Package":"repro","Output":"BenchmarkEngineRound/n=1000-8         \t     796\t   1479493 ns/op\t 1062033 B/op\t   18008 allocs/op\n"}`,
+		`{"Action":"output","Package":"repro","Output":"BenchmarkFloodRadius/r=4-8 \t      12\t  95000000 ns/op\n"}`,
+		`{"Action":"output","Package":"repro","Output":"PASS\n"}`,
+		`{"Action":"pass","Package":"repro"}`,
+	}, "\n")
+	rec, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rec.Benchmarks))
+	}
+	// Sorted by name: EngineRound before FloodRadius.
+	b := rec.Benchmarks[0]
+	if b.Name != "EngineRound/n=1000-8" {
+		t.Errorf("name=%q", b.Name)
+	}
+	if b.Iterations != 796 || b.NsPerOp != 1479493 {
+		t.Errorf("iters=%d ns=%v", b.Iterations, b.NsPerOp)
+	}
+	if b.Metrics["B/op"] != 1062033 || b.Metrics["allocs/op"] != 18008 {
+		t.Errorf("metrics=%v", b.Metrics)
+	}
+	if rec.Benchmarks[1].Metrics != nil {
+		t.Errorf("FloodRadius picked up phantom metrics: %v", rec.Benchmarks[1].Metrics)
+	}
+}
+
+// test2json flushes output as it arrives, so one benchmark result line
+// arrives split across several Output events: the bare name announcement,
+// then the padded name fragment (no newline), then the numbers. The
+// parser must reassemble the fragments and not double-count the
+// announcement line.
+func TestParseSplitBenchLine(t *testing.T) {
+	in := strings.Join([]string{
+		`{"Action":"run","Package":"repro","Test":"BenchmarkDistributedPruneN256"}`,
+		`{"Action":"output","Package":"repro","Test":"BenchmarkDistributedPruneN256","Output":"BenchmarkDistributedPruneN256\n"}`,
+		`{"Action":"output","Package":"repro","Test":"BenchmarkDistributedPruneN256","Output":"BenchmarkDistributedPruneN256 \t"}`,
+		`{"Action":"output","Package":"repro","Test":"BenchmarkDistributedPruneN256","Output":"       1\t  98338248 ns/op\t43866784 B/op\t  187946 allocs/op\n"}`,
+		`{"Action":"output","Package":"repro","Output":"PASS\n"}`,
+	}, "\n")
+	rec, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 1 {
+		t.Fatalf("got %d benchmarks, want 1: %+v", len(rec.Benchmarks), rec.Benchmarks)
+	}
+	b := rec.Benchmarks[0]
+	if b.Name != "DistributedPruneN256" || b.Iterations != 1 || b.NsPerOp != 98338248 {
+		t.Errorf("got %+v", b)
+	}
+	if b.Metrics["B/op"] != 43866784 || b.Metrics["allocs/op"] != 187946 {
+		t.Errorf("metrics=%v", b.Metrics)
+	}
+}
+
+// A final stream fragment with no trailing newline must still be parsed.
+func TestParseFlushesUnterminatedLine(t *testing.T) {
+	in := `{"Action":"output","Package":"repro","Test":"BenchmarkX","Output":"BenchmarkX-8 \t       3\t  100 ns/op"}`
+	rec, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 1 || rec.Benchmarks[0].Name != "X-8" {
+		t.Fatalf("got %+v", rec.Benchmarks)
+	}
+}
+
+func TestParsePlainBenchOutput(t *testing.T) {
+	in := "goos: linux\nBenchmarkPeelingN4096-8   \t       5\t 240000000 ns/op\nPASS\n"
+	rec, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 1 || rec.Benchmarks[0].Name != "PeelingN4096-8" {
+		t.Fatalf("got %+v", rec.Benchmarks)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Error("empty input accepted")
+	}
+}

@@ -6,9 +6,14 @@
 //
 //	chordal -alg color     -eps 0.25 -in graph.json
 //	chordal -alg color-dist -eps 0.5 -gen random -n 200 -seed 7
+//	chordal -alg color-dist -eps 0.5 -gen random -n 200 -trace run.jsonl -cpuprofile cpu.pprof
 //	chordal -alg mis        -eps 0.25 -gen interval -n 500
 //	chordal -alg forest     -in graph.json
 //	chordal -alg gen        -gen random -n 100 -out graph.json
+//
+// The distributed algorithms (color-dist, mis-dist) accept -trace to
+// stream a JSONL round trace of every engine run; -cpuprofile,
+// -memprofile, and -pprof profile any invocation.
 package main
 
 import (
@@ -20,32 +25,87 @@ import (
 	"repro/internal/chordal"
 	"repro/internal/cliquetree"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/interval"
+	"repro/internal/obs"
+	"repro/internal/peel"
 	"repro/internal/verify"
 )
 
 func main() {
 	var (
-		alg       = flag.String("alg", "color", "algorithm: color | color-dist | color-any | stats | recognize | mis | mis-dist | mis-interval | exact-color | exact-mis | greedy | luby | forest | check | gen")
-		eps       = flag.Float64("eps", 0.25, "approximation parameter ε")
-		in        = flag.String("in", "", "input graph JSON (omit to generate)")
-		out       = flag.String("out", "", "output file for -alg gen (default stdout)")
-		genKind   = flag.String("gen", "random", "generator when -in absent: random | interval | tree | path | ktree")
-		n         = flag.Int("n", 200, "generated graph size")
-		maxClique = flag.Int("maxclique", 5, "generator clique-size parameter")
-		seed      = flag.Int64("seed", 1, "generator seed")
+		alg        = flag.String("alg", "color", "algorithm: color | color-dist | color-any | stats | recognize | mis | mis-dist | mis-interval | exact-color | exact-mis | greedy | luby | forest | check | gen")
+		eps        = flag.Float64("eps", 0.25, "approximation parameter ε")
+		in         = flag.String("in", "", "input graph JSON (omit to generate)")
+		out        = flag.String("out", "", "output file for -alg gen (default stdout)")
+		genKind    = flag.String("gen", "random", "generator when -in absent: random | interval | tree | path | ktree")
+		n          = flag.Int("n", 200, "generated graph size")
+		maxClique  = flag.Int("maxclique", 5, "generator clique-size parameter")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		trace      = flag.String("trace", "", "write a JSONL round trace (color-dist and mis-dist only)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address for the duration of the run")
 	)
 	flag.Parse()
 
-	if err := run(*alg, *eps, *in, *out, *genKind, *n, *maxClique, *seed); err != nil {
+	if err := run(*alg, *eps, *in, *out, *genKind, *n, *maxClique, *seed,
+		*trace, *cpuprofile, *memprofile, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "chordal:", err)
 		os.Exit(1)
 	}
 }
 
-func run(alg string, eps float64, in, out, genKind string, n, maxClique int, seed int64) error {
+func run(alg string, eps float64, in, out, genKind string, n, maxClique int, seed int64,
+	trace, cpuprofile, memprofile, pprofAddr string) error {
+	if cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "chordal:", err)
+			}
+		}()
+	}
+	if memprofile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, "chordal:", err)
+			}
+		}()
+	}
+	if pprofAddr != "" {
+		shutdown, bound, err := obs.Serve(pprofAddr, nil)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", bound)
+	}
+	// The observer is nil unless -trace is given, so untraced runs keep
+	// the engine's zero-cost fast path.
+	var observer dist.RoundObserver
+	var collector *obs.Collector
+	if trace != "" {
+		f, err := os.Create(trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		collector = obs.NewCollector()
+		collector.SetTrace(f)
+		observer = collector
+		defer func() {
+			if err := collector.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "chordal: trace:", err)
+			}
+		}()
+	}
+
 	g, err := loadOrGenerate(in, genKind, n, maxClique, seed)
 	if err != nil {
 		return err
@@ -132,7 +192,11 @@ func run(alg string, eps float64, in, out, genKind string, n, maxClique int, see
 		return reportColoring(g, res.Colors, res.Omega, res.Palette, 0)
 
 	case "color-dist":
-		res, err := core.ColorChordalDistributed(g, eps)
+		var peelTrace func(peel.LayerEvent)
+		if collector != nil {
+			peelTrace = collector.PeelTrace()
+		}
+		res, err := core.ColorChordalDistributedObserved(g, eps, observer, peelTrace)
 		if err != nil {
 			return err
 		}
@@ -149,7 +213,11 @@ func run(alg string, eps float64, in, out, genKind string, n, maxClique int, see
 		return reportColoring(g, res.Colors, res.Omega, res.Palette, 0)
 
 	case "mis-dist":
-		res, err := core.MISChordalDistributed(g, eps)
+		var peelTrace func(peel.LayerEvent)
+		if collector != nil {
+			peelTrace = collector.PeelTrace()
+		}
+		res, err := core.MISChordalDistributedObserved(g, eps, observer, peelTrace)
 		if err != nil {
 			return err
 		}

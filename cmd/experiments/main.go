@@ -1,9 +1,16 @@
 // Command experiments regenerates every experiment table from DESIGN.md's
-// per-experiment index (E1–E15); EXPERIMENTS.md records a full run.
+// per-experiment index (E1–E19); EXPERIMENTS.md records a full run.
 //
 // Usage:
 //
 //	experiments [-quick] [-only E7,E13]
+//	experiments [-quick] -trace out.jsonl [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-pprof 127.0.0.1:6060]
+//
+// With -trace the command runs the round-tracing workload (the full
+// distributed coloring of the Figure-1 graph plus flooding and peeling
+// on a 10^4-node random chordal graph — 10^3 with -quick) and streams a
+// JSONL trace, one event per engine round. The profiling flags work with
+// or without -trace; they wrap whatever workload the invocation runs.
 package main
 
 import (
@@ -13,20 +20,64 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink parameter sweeps for a fast run")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E7); empty = all")
+	trace := flag.String("trace", "", "write a JSONL round trace of the tracing workload to this file (skips the tables)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for the duration of the run")
 	flag.Parse()
 
-	if err := run(*quick, *only); err != nil {
+	if err := run(*quick, *only, *trace, *cpuprofile, *memprofile, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, only string) error {
+func run(quick bool, only, trace, cpuprofile, memprofile, pprofAddr string) error {
+	if cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
+	if memprofile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
+	if pprofAddr != "" {
+		shutdown, bound, err := obs.Serve(pprofAddr, nil)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", bound)
+	}
+
+	if trace != "" {
+		f, err := os.Create(trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := exp.TraceRun(f, quick); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+
 	if only == "" {
 		return exp.All(os.Stdout, quick)
 	}
@@ -42,10 +93,11 @@ func run(quick bool, only string) error {
 		"E11": exp.E11ChordalMIS, "E12": exp.E12ChordalMISRounds,
 		"E13": exp.E13LowerBound, "E14": exp.E14Baselines,
 		"E15": exp.E15LocalViewCoherence, "E16": exp.E16BeyondChordal,
-		"E17": exp.E17MessageComplexity,
+		"E17": exp.E17MessageComplexity, "E18": exp.E18RoundTrace,
+		"E19": exp.E19PeelTrace,
 	}
 	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
-		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
+		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
 	for _, id := range order {
 		if !wanted[id] {
 			continue

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTraceAndProfileSmoke is the acceptance path of the observability
+// PR: -trace plus -cpuprofile produce a non-empty JSONL trace and a
+// non-empty profile.
+func TestTraceAndProfileSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace workload is slow")
+	}
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "out.jsonl")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run(true, "", trace, cpu, mem, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{trace, cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("stat %s: %v", p, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestOnlySelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	if err := run(true, "E18,E19", "", "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+}

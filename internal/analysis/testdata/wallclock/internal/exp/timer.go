@@ -1,0 +1,13 @@
+// Package exp stands in for a package newly covered by the widened
+// guard: the ban is internal/-wide, not just dist/core/peel, so an
+// experiment harness reading the clock directly is flagged — timings
+// must route through the observability layer instead.
+package exp
+
+import "time"
+
+func measure(f func()) time.Duration {
+	start := time.Now() // want `calls time.Now in wallfix/internal/exp`
+	f()
+	return time.Since(start) // want `calls time.Since in wallfix/internal/exp`
+}

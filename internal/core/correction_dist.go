@@ -125,6 +125,12 @@ func (c *correctionNode) Output() any { return c.final }
 // the final colors (each parent's local Lemma-10 result). It returns the
 // measured rounds of the asynchronous schedule.
 func RunCorrectionPhase(g *graph.Graph, layer map[graph.ID]int, parent map[graph.ID]graph.ID, finalColors map[graph.ID]int, k int) (int, error) {
+	return RunCorrectionPhaseObserved(g, layer, parent, finalColors, k, nil)
+}
+
+// RunCorrectionPhaseObserved is RunCorrectionPhase with a RoundObserver
+// attached to the correction engine (nil behaves identically).
+func RunCorrectionPhaseObserved(g *graph.Graph, layer map[graph.ID]int, parent map[graph.ID]graph.ID, finalColors map[graph.ID]int, k int, o dist.RoundObserver) (int, error) {
 	children := make(map[graph.ID]map[int][]graph.ID)
 	for child, p := range parent {
 		if children[p] == nil {
@@ -165,6 +171,7 @@ func RunCorrectionPhase(g *graph.Graph, layer map[graph.ID]int, parent map[graph
 		slices.SortFunc(node.childLayers, func(a, b int) int { return b - a })
 		return node
 	})
+	eng.Observer = o
 	res, err := eng.Run(20 * (g.NumNodes() + 10) * (k + 5))
 	if err != nil {
 		return 0, fmt.Errorf("correction phase: %w", err)

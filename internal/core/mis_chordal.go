@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/chordal"
+	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/peel"
 )
@@ -79,6 +80,14 @@ func MISChordalWithOptions(g *graph.Graph, eps float64, opts ChordalMISOptions) 
 // layer partition against the centralized peel and fails loudly on
 // divergence.
 func MISChordalDistributed(g *graph.Graph, eps float64) (*ChordalMISResult, error) {
+	return MISChordalDistributedObserved(g, eps, nil, nil)
+}
+
+// MISChordalDistributedObserved is MISChordalDistributed with
+// observability hooks: o (may be nil) observes every pruning flood,
+// phase-labeled per iteration, and peelTrace (may be nil) receives the
+// centralized cross-check peel's per-layer events.
+func MISChordalDistributedObserved(g *graph.Graph, eps float64, o dist.RoundObserver, peelTrace func(peel.LayerEvent)) (*ChordalMISResult, error) {
 	if eps <= 0 || eps >= 1 {
 		return nil, fmt.Errorf("epsilon must be in (0,1), got %v", eps)
 	}
@@ -88,6 +97,7 @@ func MISChordalDistributed(g *graph.Graph, eps float64) (*ChordalMISResult, erro
 		Radius:        3*(2*d+3) + 2,
 		MaxIterations: iterations,
 		FinalAlpha:    d,
+		Observer:      o,
 	}
 	outcome, err := DistributedPruneSpec(g, spec)
 	if err != nil {
@@ -97,6 +107,7 @@ func MISChordalDistributed(g *graph.Graph, eps float64) (*ChordalMISResult, erro
 		InternalDiameter: 2*d + 3,
 		MaxIterations:    iterations,
 		FinalAlpha:       d,
+		Trace:            peelTrace,
 	})
 	if err != nil {
 		return nil, err

@@ -43,6 +43,10 @@ type PruneSpec struct {
 	// iteration's internal-path rule to "independence number ≥ FinalAlpha"
 	// (Algorithm 6's last iteration).
 	FinalAlpha int
+	// Observer, when non-nil, is attached to every flooding engine run.
+	// If it also implements dist.PhaseSetter, each iteration's flood is
+	// labeled "prune-iNN" so traces resolve the phase structure.
+	Observer dist.RoundObserver
 }
 
 // DistributedPrune runs the PruneTree subroutine of Algorithm 2 with
@@ -86,7 +90,10 @@ func DistributedPruneSpec(g *graph.Graph, spec PruneSpec) (*PruneOutcome, error)
 		for v, l := range out.Layer {
 			notes[v] = l
 		}
-		know, stats, err := dist.CollectBallsIndexed(ix, spec.Radius, notes)
+		if ps, ok := spec.Observer.(dist.PhaseSetter); ok {
+			ps.SetPhase(fmt.Sprintf("prune-i%02d", iteration))
+		}
+		know, stats, err := dist.CollectBallsIndexedObserved(ix, spec.Radius, notes, spec.Observer)
 		if err != nil {
 			return nil, err
 		}
@@ -571,15 +578,24 @@ func distToSet(g *graph.Graph, v graph.ID, set graph.Set) int {
 // self-check it verifies that the distributed layer partition matches the
 // centralized Algorithm 1 partition (Lemma 12) and fails loudly if not.
 func ColorChordalDistributed(g *graph.Graph, eps float64) (*ChordalColoring, error) {
+	return ColorChordalDistributedObserved(g, eps, nil, nil)
+}
+
+// ColorChordalDistributedObserved is ColorChordalDistributed with
+// observability hooks: o (may be nil) is attached to every engine run —
+// the pruning floods, phase-labeled per iteration, and the correction
+// choreography, labeled "correction" — and peelTrace (may be nil)
+// receives the centralized cross-check peel's per-layer events.
+func ColorChordalDistributedObserved(g *graph.Graph, eps float64, o dist.RoundObserver, peelTrace func(peel.LayerEvent)) (*ChordalColoring, error) {
 	if eps <= 0 {
 		return nil, fmt.Errorf("epsilon must be positive, got %v", eps)
 	}
 	k := EffectiveK(eps)
-	outcome, err := DistributedPrune(g, k)
+	outcome, err := DistributedPruneSpec(g, PruneSpec{DiamThreshold: 3 * k, Radius: 10 * k, Observer: o})
 	if err != nil {
 		return nil, fmt.Errorf("distributed prune: %w", err)
 	}
-	peeled, err := peel.Run(g, peel.Options{InternalDiameter: 3 * k})
+	peeled, err := peel.Run(g, peel.Options{InternalDiameter: 3 * k, Trace: peelTrace})
 	if err != nil {
 		return nil, err
 	}
@@ -606,7 +622,10 @@ func ColorChordalDistributed(g *graph.Graph, eps float64) (*ChordalColoring, err
 	}
 	// Run the correction choreography with real messages and charge its
 	// measured asynchronous schedule length.
-	corrRounds, err := RunCorrectionPhase(g, outcome.Layer, outcome.Parent, col.Colors, k)
+	if ps, ok := o.(dist.PhaseSetter); ok {
+		ps.SetPhase("correction")
+	}
+	corrRounds, err := RunCorrectionPhaseObserved(g, outcome.Layer, outcome.Parent, col.Colors, k, o)
 	if err != nil {
 		return nil, err
 	}

@@ -20,7 +20,9 @@ package dist
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -73,9 +75,74 @@ const (
 // leaves it alone.
 var DefaultMode = ModePooled
 
+// RoundStats is the per-round summary handed to a RoundObserver at each
+// round boundary. Every field except Shards is a pure function of
+// (graph, protocol) and therefore identical across all ExecModes; Shards
+// describes the schedule that happened to run the round.
+type RoundStats struct {
+	// Round is the step index: 0 for the Init step, then the 1-based
+	// communication round.
+	Round int
+	// Nodes is the network size.
+	Nodes int
+	// Shards is the number of worker shards the schedule used for this
+	// round (1 in sequential mode, 0 in per-node mode, where shard
+	// boundaries do not exist).
+	Shards int
+	// Messages counts the point-to-point messages queued during this
+	// round (delivered at the next round boundary).
+	Messages int
+	// Volume sums the payload sizes of those messages (Sizer units;
+	// 1 per message otherwise).
+	Volume int
+	// Done is the number of nodes reporting Done after this round.
+	Done int
+	// MaxInbox is the largest single next-round inbox fill — the
+	// inbox-capacity high-water mark of this round's delivery.
+	MaxInbox int
+}
+
+// RoundObserver receives engine lifecycle events at round boundaries.
+// The engine itself never reads the wall clock (the LOCAL model measures
+// time in rounds, and the chordalvet wallclock invariant enforces it);
+// an observer that wants wall times stamps these callbacks itself — see
+// internal/obs for the canonical implementation.
+//
+// Concurrency contract: RunStart, RoundStart, RoundEnd, and RunEnd are
+// called from the goroutine driving Engine.Run. ShardStart/ShardEnd are
+// called from worker goroutines — calls with distinct shard indices may
+// be concurrent, and each shard index is used by exactly one goroutine
+// per round. Observers are never invoked when the engine's Observer
+// field is nil, and a nil observer adds no per-node work to the round
+// loop.
+type RoundObserver interface {
+	// RunStart fires once before the Init step.
+	RunStart(nodes, edges int)
+	// RoundStart fires before the round's node programs run. shards is
+	// the worker-shard count of RoundStats.Shards.
+	RoundStart(round, shards int)
+	// ShardStart/ShardEnd bracket one worker shard's per-node work
+	// within the round (pooled and sequential schedules only).
+	ShardStart(shard int)
+	ShardEnd(shard int)
+	// RoundEnd fires after the round's messages are delivered.
+	RoundEnd(stats RoundStats)
+	// RunEnd fires after the final round, with the total round count.
+	RunEnd(rounds int)
+}
+
+// PhaseSetter is optionally implemented by observers that label trace
+// events with caller-defined phases (e.g. "prune-i03", "correction").
+// Code that drives several engine runs under one observer sets the phase
+// between runs; the engine itself never calls it.
+type PhaseSetter interface {
+	SetPhase(name string)
+}
+
 // Context is a node's interface to the network during Init/Round calls.
 type Context struct {
 	id      graph.ID
+	idx     int32 // own dense index in the snapshot
 	nbrIDs  []graph.ID
 	nbrIdx  []int32
 	ix      *graph.Indexed
@@ -94,14 +161,27 @@ func (c *Context) Neighbors() []graph.ID { return c.nbrIDs }
 // Degree returns the number of neighbors.
 func (c *Context) Degree() int { return len(c.nbrIDs) }
 
-// Send queues a message to node to, delivered next round.
+// Send queues a message to node to, delivered next round. The hot path —
+// sending to a neighbor, the only kind of send the LOCAL model grants for
+// free — resolves the target index by binary search over the node's own
+// sorted neighbor row instead of the snapshot-wide ID→index map; self
+// sends use the precomputed own index; only sends to distant nodes fall
+// back to the map lookup.
 func (c *Context) Send(to graph.ID, payload any) {
-	j, ok := c.ix.IndexOf(to)
-	if !ok {
-		panic(fmt.Sprintf("dist: node %d sent to %d, which is not a node of the network", c.id, to))
+	var j int32
+	if p, ok := slices.BinarySearch(c.nbrIDs, to); ok {
+		j = c.nbrIdx[p]
+	} else if to == c.id {
+		j = c.idx
+	} else {
+		ji, ok := c.ix.IndexOf(to)
+		if !ok {
+			panic(fmt.Sprintf("dist: node %d sent to %d, which is not a node of the network", c.id, to))
+		}
+		j = int32(ji)
 	}
 	c.outbox = append(c.outbox, Message{From: c.id, Payload: payload})
-	c.targets = append(c.targets, int32(j))
+	c.targets = append(c.targets, j)
 }
 
 // Broadcast queues the same payload to every neighbor.
@@ -143,6 +223,16 @@ type Engine struct {
 	// Sequential forces ModeSequential regardless of Mode (legacy knob,
 	// kept for existing callers).
 	Sequential bool
+	// Observer, when non-nil, receives per-round events (see
+	// RoundObserver). Nil — the default — is the zero-cost fast path:
+	// no callback, no inbox high-water scan, no extra allocation.
+	Observer RoundObserver
+
+	// done[i] mirrors progs[i].Done() after the node's latest step;
+	// doneCount is the number of true entries. Maintained inside the
+	// round loop so termination needs no O(n) rescan per round.
+	done      []bool
+	doneCount atomic.Int64
 }
 
 // NewEngine creates an engine running factory(v) on every node v of g.
@@ -174,6 +264,7 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 	for i := range ctxs {
 		ctxs[i] = Context{
 			id:     e.ix.IDOf(i),
+			idx:    int32(i),
 			nbrIDs: e.ix.NeighborIDs(i),
 			nbrIdx: e.ix.NeighborIndices(i),
 			ix:     e.ix,
@@ -184,36 +275,49 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 	cur := make([][]Message, n)
 	next := make([][]Message, n)
 
+	obs := e.Observer
+	e.done = make([]bool, n)
+	e.doneCount.Store(0)
+	if obs != nil {
+		obs.RunStart(n, e.ix.NumEdges())
+	}
+
 	res := &Result{}
-	e.forEachNode(func(i int) {
+	e.step(obs, 0, func(i int) {
 		e.progs[i].Init(&ctxs[i])
 	})
-	e.collect(ctxs, next, res)
+	e.collect(obs, 0, ctxs, next, res)
 
-	for !e.allDone() {
+	for e.doneCount.Load() != int64(n) {
 		if res.Rounds >= maxRounds {
 			return nil, fmt.Errorf("protocol did not terminate within %d rounds", maxRounds)
 		}
 		res.Rounds++
 		cur, next = next, cur
-		e.forEachNode(func(i int) {
+		e.step(obs, res.Rounds, func(i int) {
 			e.progs[i].Round(&ctxs[i], cur[i])
 		})
-		e.collect(ctxs, next, res)
+		e.collect(obs, res.Rounds, ctxs, next, res)
 	}
 
 	res.Outputs = make(map[graph.ID]any, n)
 	for i, v := range e.ix.IDs() {
 		res.Outputs[v] = e.progs[i].Output()
 	}
+	if obs != nil {
+		obs.RunEnd(res.Rounds)
+	}
 	return res, nil
 }
 
-// forEachNode runs fn for every node index according to the engine mode.
+// step runs fn for every node index according to the engine mode,
+// tracking per-node Done transitions so the run loop never rescans.
 // Shards are contiguous index ranges, so the work partition is
 // deterministic; node programs touch only their own state and context, so
-// any schedule is race-free and equivalent.
-func (e *Engine) forEachNode(fn func(i int)) {
+// any schedule is race-free and equivalent. The observer's round/shard
+// hooks bracket the work (per-node mode reports zero shards: with one
+// goroutine per node there is no shard boundary worth timing).
+func (e *Engine) step(obs RoundObserver, round int, fn func(i int)) {
 	n := len(e.progs)
 	mode := e.Mode
 	if e.Sequential {
@@ -221,16 +325,21 @@ func (e *Engine) forEachNode(fn func(i int)) {
 	}
 	switch mode {
 	case ModeSequential:
-		for i := 0; i < n; i++ {
-			fn(i)
+		if obs != nil {
+			obs.RoundStart(round, 1)
 		}
+		e.runShard(obs, 0, 0, n, fn)
 	case ModePerNode:
+		if obs != nil {
+			obs.RoundStart(round, 0)
+		}
 		var wg sync.WaitGroup
 		wg.Add(n)
 		for i := 0; i < n; i++ {
 			go func(i int) {
 				defer wg.Done()
 				fn(i)
+				e.noteDone(i)
 			}(i)
 		}
 		wg.Wait()
@@ -240,27 +349,73 @@ func (e *Engine) forEachNode(fn func(i int)) {
 			workers = n
 		}
 		if workers <= 1 {
-			for i := 0; i < n; i++ {
-				fn(i)
+			if obs != nil {
+				obs.RoundStart(round, 1)
 			}
+			e.runShard(obs, 0, 0, n, fn)
 			return
 		}
 		chunk := (n + workers - 1) / workers
+		shards := (n + chunk - 1) / chunk
+		if obs != nil {
+			obs.RoundStart(round, shards)
+		}
 		var wg sync.WaitGroup
+		shard := 0
 		for lo := 0; lo < n; lo += chunk {
 			hi := lo + chunk
 			if hi > n {
 				hi = n
 			}
 			wg.Add(1)
-			go func(lo, hi int) {
+			go func(shard, lo, hi int) {
 				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					fn(i)
-				}
-			}(lo, hi)
+				e.runShard(obs, shard, lo, hi, fn)
+			}(shard, lo, hi)
+			shard++
 		}
 		wg.Wait()
+	}
+}
+
+// runShard executes one contiguous index range on the calling goroutine,
+// folding the per-node Done checks into the shard so they run in parallel
+// with the round work, and publishing the shard's done-delta with a
+// single atomic add.
+func (e *Engine) runShard(obs RoundObserver, shard, lo, hi int, fn func(i int)) {
+	if obs != nil {
+		obs.ShardStart(shard)
+	}
+	delta := 0
+	for i := lo; i < hi; i++ {
+		fn(i)
+		if d := e.progs[i].Done(); d != e.done[i] {
+			e.done[i] = d
+			if d {
+				delta++
+			} else {
+				delta--
+			}
+		}
+	}
+	if delta != 0 {
+		e.doneCount.Add(int64(delta))
+	}
+	if obs != nil {
+		obs.ShardEnd(shard)
+	}
+}
+
+// noteDone is the per-node done-tracking used by the per-node schedule,
+// where no shard exists to batch the atomic update.
+func (e *Engine) noteDone(i int) {
+	if d := e.progs[i].Done(); d != e.done[i] {
+		e.done[i] = d
+		if d {
+			e.doneCount.Add(1)
+		} else {
+			e.doneCount.Add(-1)
+		}
 	}
 }
 
@@ -269,33 +424,70 @@ func (e *Engine) forEachNode(fn func(i int)) {
 // already sorted by (sender, queue position) — the order the legacy
 // engine produced with a global stable sort — without sorting. Inbox
 // slices are truncated and refilled in place, so steady-state rounds
-// allocate nothing.
-func (e *Engine) collect(ctxs []Context, next [][]Message, res *Result) {
+// allocate nothing. With an observer attached it also reports the
+// round's message/volume deltas and the inbox high-water mark.
+func (e *Engine) collect(obs RoundObserver, round int, ctxs []Context, next [][]Message, res *Result) {
 	for i := range next {
 		next[i] = next[i][:0]
 	}
+	msgs, vol := 0, 0
 	for i := range ctxs {
 		c := &ctxs[i]
 		for k, msg := range c.outbox {
 			to := c.targets[k]
 			next[to] = append(next[to], msg)
-			res.Messages++
+			msgs++
 			if s, ok := msg.Payload.(Sizer); ok {
-				res.Volume += s.PayloadSize()
+				vol += s.PayloadSize()
 			} else {
-				res.Volume++
+				vol++
 			}
 		}
 		c.outbox = c.outbox[:0]
 		c.targets = c.targets[:0]
 	}
+	res.Messages += msgs
+	res.Volume += vol
+	if obs != nil {
+		maxInbox := 0
+		for i := range next {
+			if len(next[i]) > maxInbox {
+				maxInbox = len(next[i])
+			}
+		}
+		obs.RoundEnd(RoundStats{
+			Round:    round,
+			Nodes:    len(ctxs),
+			Shards:   e.shardsFor(len(ctxs)),
+			Messages: msgs,
+			Volume:   vol,
+			Done:     int(e.doneCount.Load()),
+			MaxInbox: maxInbox,
+		})
+	}
 }
 
-func (e *Engine) allDone() bool {
-	for _, p := range e.progs {
-		if !p.Done() {
-			return false
-		}
+// shardsFor reports the worker-shard count the current mode uses for an
+// n-node round (matching the RoundStart argument).
+func (e *Engine) shardsFor(n int) int {
+	mode := e.Mode
+	if e.Sequential {
+		mode = ModeSequential
 	}
-	return true
+	switch mode {
+	case ModeSequential:
+		return 1
+	case ModePerNode:
+		return 0
+	default:
+		workers := runtime.GOMAXPROCS(0)
+		if workers > n {
+			workers = n
+		}
+		if workers <= 1 {
+			return 1
+		}
+		chunk := (n + workers - 1) / workers
+		return (n + chunk - 1) / chunk
+	}
 }

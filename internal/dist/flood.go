@@ -292,6 +292,13 @@ func CollectBallsStats(g *graph.Graph, radius int, notes map[graph.ID]any) (map[
 // views into the snapshot, so collection allocates no per-node adjacency
 // copies.
 func CollectBallsIndexed(ix *graph.Indexed, radius int, notes map[graph.ID]any) (map[graph.ID]*Knowledge, *Result, error) {
+	return CollectBallsIndexedObserved(ix, radius, notes, nil)
+}
+
+// CollectBallsIndexedObserved is CollectBallsIndexed with a RoundObserver
+// attached to the flooding engine (nil behaves exactly like
+// CollectBallsIndexed).
+func CollectBallsIndexedObserved(ix *graph.Indexed, radius int, notes map[graph.ID]any, o RoundObserver) (map[graph.ID]*Knowledge, *Result, error) {
 	n := ix.NumNodes()
 	avgDeg := 0
 	if n > 0 {
@@ -302,6 +309,7 @@ func CollectBallsIndexed(ix *graph.Indexed, radius int, notes map[graph.ID]any) 
 		hint := ballSizeHint(ix.Degree(i), avgDeg, radius, n)
 		return newFloodProtocol(v, i, n, ix.NeighborIDs(i), notes[v], radius, hint)
 	})
+	eng.Observer = o
 	res, err := eng.Run(radius + 1)
 	if err != nil {
 		return nil, nil, fmt.Errorf("flooding: %w", err)

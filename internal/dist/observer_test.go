@@ -1,0 +1,356 @@
+package dist
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// recordingObserver captures every engine callback. It is test-local so
+// package dist needs no import of internal/obs (which imports dist).
+type recordingObserver struct {
+	mu          sync.Mutex
+	runNodes    int
+	runEdges    int
+	rounds      []RoundStats
+	roundStarts []int
+	shardStarts map[int]int // shard index -> count
+	shardEnds   map[int]int
+	runEnds     []int
+	phases      []string
+}
+
+func newRecordingObserver() *recordingObserver {
+	return &recordingObserver{shardStarts: make(map[int]int), shardEnds: make(map[int]int)}
+}
+
+func (r *recordingObserver) RunStart(nodes, edges int) {
+	r.runNodes, r.runEdges = nodes, edges
+}
+func (r *recordingObserver) RoundStart(round, shards int) {
+	r.roundStarts = append(r.roundStarts, round)
+}
+func (r *recordingObserver) ShardStart(shard int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.shardStarts[shard]++
+}
+func (r *recordingObserver) ShardEnd(shard int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.shardEnds[shard]++
+}
+func (r *recordingObserver) RoundEnd(stats RoundStats) {
+	r.rounds = append(r.rounds, stats)
+}
+func (r *recordingObserver) RunEnd(rounds int) {
+	r.runEnds = append(r.runEnds, rounds)
+}
+func (r *recordingObserver) SetPhase(name string) {
+	r.phases = append(r.phases, name)
+}
+
+// scheduleFree strips the schedule-dependent Shards field, leaving only
+// the values promised identical across ExecModes.
+func scheduleFree(stats []RoundStats) []RoundStats {
+	out := append([]RoundStats(nil), stats...)
+	for i := range out {
+		out[i].Shards = 0
+	}
+	return out
+}
+
+// TestObserverDeterministicAcrossModes runs the same protocol under all
+// three schedules and requires identical event counts and values — every
+// RoundStats field except Shards is a pure function of (graph, protocol).
+func TestObserverDeterministicAcrossModes(t *testing.T) {
+	g := gen.RandomChordal(60, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.4}, 9)
+	run := func(mode ExecMode) *recordingObserver {
+		rec := newRecordingObserver()
+		eng := NewEngine(g, func(v graph.ID) Protocol {
+			return &echoProtocol{target: 4}
+		})
+		eng.Mode = mode
+		eng.Observer = rec
+		if _, err := eng.Run(10); err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	pooled := run(ModePooled)
+	perNode := run(ModePerNode)
+	seq := run(ModeSequential)
+
+	for _, rec := range []*recordingObserver{pooled, perNode, seq} {
+		if rec.runNodes != g.NumNodes() || rec.runEdges != g.NumEdges() {
+			t.Errorf("RunStart saw n=%d m=%d, want n=%d m=%d", rec.runNodes, rec.runEdges, g.NumNodes(), g.NumEdges())
+		}
+		if len(rec.runEnds) != 1 {
+			t.Fatalf("RunEnd fired %d times, want 1", len(rec.runEnds))
+		}
+		// One RoundStart and one RoundEnd per step (Init = round 0).
+		if len(rec.rounds) != rec.runEnds[0]+1 || len(rec.roundStarts) != len(rec.rounds) {
+			t.Errorf("got %d RoundEnds and %d RoundStarts for %d rounds", len(rec.rounds), len(rec.roundStarts), rec.runEnds[0])
+		}
+	}
+	if !reflect.DeepEqual(scheduleFree(pooled.rounds), scheduleFree(seq.rounds)) {
+		t.Errorf("pooled and sequential traces differ:\n%+v\nvs\n%+v", pooled.rounds, seq.rounds)
+	}
+	if !reflect.DeepEqual(scheduleFree(perNode.rounds), scheduleFree(seq.rounds)) {
+		t.Errorf("per-node and sequential traces differ:\n%+v\nvs\n%+v", perNode.rounds, seq.rounds)
+	}
+	// Schedule shape: sequential runs exactly one shard per round;
+	// per-node reports zero shards and no shard events.
+	for _, st := range seq.rounds {
+		if st.Shards != 1 {
+			t.Errorf("sequential round %d: shards=%d, want 1", st.Round, st.Shards)
+		}
+	}
+	if len(perNode.shardStarts) != 0 || len(perNode.shardEnds) != 0 {
+		t.Errorf("per-node mode fired shard events: %v", perNode.shardStarts)
+	}
+	for shard, n := range pooled.shardStarts {
+		if pooled.shardEnds[shard] != n {
+			t.Errorf("shard %d: %d starts but %d ends", shard, n, pooled.shardEnds[shard])
+		}
+	}
+	// The per-round Done counts are monotone and end at n.
+	last := seq.rounds[len(seq.rounds)-1]
+	if last.Done != g.NumNodes() {
+		t.Errorf("final Done=%d, want %d", last.Done, g.NumNodes())
+	}
+	for i := 1; i < len(seq.rounds); i++ {
+		if seq.rounds[i].Done < seq.rounds[i-1].Done {
+			t.Errorf("Done regressed from %d to %d at round %d (echo protocol never un-finishes)",
+				seq.rounds[i-1].Done, seq.rounds[i].Done, i)
+		}
+	}
+}
+
+// sizedPayload gives each message an explicit size in Sizer units.
+type sizedPayload struct{ size int }
+
+func (s sizedPayload) PayloadSize() int { return s.size }
+
+// sizerProtocol sends one sized message per neighbor for two rounds.
+type sizerProtocol struct {
+	size   int
+	rounds int
+}
+
+func (p *sizerProtocol) Init(ctx *Context) {
+	for _, u := range ctx.Neighbors() {
+		ctx.Send(u, sizedPayload{size: p.size})
+	}
+}
+func (p *sizerProtocol) Round(ctx *Context, inbox []Message) {
+	if p.rounds++; p.rounds < 2 {
+		for _, u := range ctx.Neighbors() {
+			ctx.Send(u, sizedPayload{size: p.size})
+		}
+	}
+}
+func (p *sizerProtocol) Done() bool  { return p.rounds >= 2 }
+func (p *sizerProtocol) Output() any { return nil }
+
+// TestResultVolumeWithSizer checks that Result.Volume and the per-round
+// observer Volume both honour Sizer payloads instead of counting 1 per
+// message.
+func TestResultVolumeWithSizer(t *testing.T) {
+	g := gen.Cycle(5)
+	rec := newRecordingObserver()
+	eng := NewEngine(g, func(v graph.ID) Protocol {
+		return &sizerProtocol{size: 7}
+	})
+	eng.Observer = rec
+	res, err := eng.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 nodes × 2 neighbors × 2 sending steps (Init + round 1).
+	wantMsgs := 5 * 2 * 2
+	if res.Messages != wantMsgs {
+		t.Fatalf("messages=%d, want %d", res.Messages, wantMsgs)
+	}
+	if res.Volume != 7*wantMsgs {
+		t.Errorf("volume=%d, want %d (Sizer units)", res.Volume, 7*wantMsgs)
+	}
+	sum := 0
+	for _, st := range rec.rounds {
+		sum += st.Volume
+		if st.Messages > 0 && st.Volume != 7*st.Messages {
+			t.Errorf("round %d: volume=%d for %d messages, want %d", st.Round, st.Volume, st.Messages, 7*st.Messages)
+		}
+	}
+	if sum != res.Volume {
+		t.Errorf("per-round volumes sum to %d, result says %d", sum, res.Volume)
+	}
+}
+
+// mixedSizeProtocol sends one Sizer and one plain payload per round, so
+// both accounting branches run in one engine pass.
+type mixedSizeProtocol struct{ done bool }
+
+func (p *mixedSizeProtocol) Init(ctx *Context) {
+	nbrs := ctx.Neighbors()
+	ctx.Send(nbrs[0], sizedPayload{size: 10})
+	ctx.Send(nbrs[0], "plain")
+}
+func (p *mixedSizeProtocol) Round(ctx *Context, inbox []Message) { p.done = true }
+func (p *mixedSizeProtocol) Done() bool                          { return p.done }
+func (p *mixedSizeProtocol) Output() any                         { return nil }
+
+func TestResultVolumeMixedPayloads(t *testing.T) {
+	g := gen.Cycle(4)
+	eng := NewEngine(g, func(v graph.ID) Protocol {
+		return &mixedSizeProtocol{}
+	})
+	res, err := eng.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per node: one 10-unit payload + one default 1-unit payload.
+	if want := 4 * (10 + 1); res.Volume != want {
+		t.Errorf("volume=%d, want %d", res.Volume, want)
+	}
+}
+
+// sendEverywhereProtocol exercises every Send target class: self
+// (precomputed index), neighbors (binary search on the sorted row), and
+// a distant node (map fallback).
+type sendEverywhereProtocol struct {
+	far    graph.ID
+	got    map[graph.ID]int
+	rounds int
+}
+
+func (p *sendEverywhereProtocol) Init(ctx *Context) {
+	ctx.Send(ctx.ID(), 1)
+	for _, u := range ctx.Neighbors() {
+		ctx.Send(u, 1)
+	}
+	ctx.Send(p.far, 1)
+}
+func (p *sendEverywhereProtocol) Round(ctx *Context, inbox []Message) {
+	if p.rounds++; p.rounds > 1 {
+		return
+	}
+	for _, m := range inbox {
+		p.got[m.From]++
+	}
+}
+func (p *sendEverywhereProtocol) Done() bool  { return p.rounds >= 1 }
+func (p *sendEverywhereProtocol) Output() any { return p.got }
+
+// TestSendTargetClasses pins the Send fast path's correctness: self and
+// distant sends must deliver exactly like neighbor sends.
+func TestSendTargetClasses(t *testing.T) {
+	g := gen.Path(6) // IDs 0..5 in a path; 0 and 5 are not adjacent
+	eng := NewEngine(g, func(v graph.ID) Protocol {
+		far := graph.ID(5)
+		if v == 5 {
+			far = 0
+		}
+		return &sendEverywhereProtocol{far: far, got: make(map[graph.ID]int)}
+	})
+	eng.Mode = ModeSequential
+	res, err := eng.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, out := range res.Outputs {
+		got := out.(map[graph.ID]int)
+		// Self delivery.
+		if got[v] != 1 {
+			t.Errorf("node %d: self message count %d, want 1", v, got[v])
+		}
+		// Neighbor delivery.
+		for _, u := range g.Neighbors(v) {
+			if got[u] < 1 {
+				t.Errorf("node %d: missing message from neighbor %d", v, u)
+			}
+		}
+	}
+	// Distant sends: node 0 heard from 5 and vice versa (each node sent
+	// to its far endpoint).
+	for _, pair := range [][2]graph.ID{{0, 5}, {5, 0}} {
+		got := res.Outputs[pair[0]].(map[graph.ID]int)
+		if got[pair[1]] != 1 {
+			t.Errorf("node %d: distant message count from %d = %d, want 1", pair[0], pair[1], got[pair[1]])
+		}
+	}
+}
+
+// TestSendUnknownTargetPanics pins the Send error contract.
+func TestSendUnknownTargetPanics(t *testing.T) {
+	g := gen.Path(3)
+	eng := NewEngine(g, func(v graph.ID) Protocol {
+		return &badSenderProtocol{}
+	})
+	eng.Mode = ModeSequential
+	defer func() {
+		if recover() == nil {
+			t.Error("send to a non-node did not panic")
+		}
+	}()
+	_, _ = eng.Run(10)
+}
+
+type badSenderProtocol struct{ done bool }
+
+func (p *badSenderProtocol) Init(ctx *Context)                   { ctx.Send(graph.ID(999), 1) }
+func (p *badSenderProtocol) Round(ctx *Context, inbox []Message) { p.done = true }
+func (p *badSenderProtocol) Done() bool                          { return p.done }
+func (p *badSenderProtocol) Output() any                         { return nil }
+
+// oscillatingProtocol reports Done on even rounds and not-done on odd
+// rounds until it finally settles: the engine's done counter must track
+// transitions in both directions.
+type oscillatingProtocol struct {
+	rounds int
+	settle int
+}
+
+func (p *oscillatingProtocol) Init(ctx *Context) { ctx.Broadcast(1) }
+func (p *oscillatingProtocol) Round(ctx *Context, inbox []Message) {
+	p.rounds++
+	if p.rounds < p.settle {
+		ctx.Broadcast(1)
+	}
+}
+func (p *oscillatingProtocol) Done() bool {
+	if p.rounds >= p.settle {
+		return true
+	}
+	return p.rounds%2 == 0
+}
+func (p *oscillatingProtocol) Output() any { return p.rounds }
+
+// TestDoneCounterOscillation ensures the incremental done counter stays
+// correct when Done() flips back and forth (the contract allows it: the
+// run stops only when all nodes are simultaneously Done after a round).
+func TestDoneCounterOscillation(t *testing.T) {
+	g := gen.Cycle(4)
+	for _, mode := range []ExecMode{ModePooled, ModePerNode, ModeSequential} {
+		// settle=5 (odd): nodes report done after even rounds 2 and 4
+		// but un-done after 1, 3; all settle for good at round 5.
+		eng := NewEngine(g, func(v graph.ID) Protocol {
+			return &oscillatingProtocol{settle: 5}
+		})
+		eng.Mode = mode
+		res, err := eng.Run(20)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		// All nodes report Done after round 2 already (rounds=2 is even),
+		// so the run stops there — the point is the counter must agree.
+		for v, out := range res.Outputs {
+			if out.(int) != res.Rounds {
+				t.Errorf("mode %v: node %d ran %d rounds, engine says %d", mode, v, out, res.Rounds)
+			}
+		}
+	}
+}

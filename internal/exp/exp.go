@@ -79,6 +79,7 @@ func All(w io.Writer, quick bool) error {
 		E11ChordalMIS, E12ChordalMISRounds,
 		E13LowerBound, E14Baselines, E15LocalViewCoherence,
 		E16BeyondChordal, E17MessageComplexity,
+		E18RoundTrace, E19PeelTrace,
 	}
 	for _, run := range runs {
 		tbl, err := run(quick)

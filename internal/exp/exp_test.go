@@ -18,7 +18,8 @@ func TestAllQuick(t *testing.T) {
 	}
 	out := buf.String()
 	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
-		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"} {
+		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17",
+		"E18", "E19"} {
 		if !strings.Contains(out, "### "+id+" ") {
 			t.Errorf("output missing experiment %s", id)
 		}

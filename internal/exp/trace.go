@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/figures"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/peel"
+)
+
+// E18RoundTrace runs the full distributed coloring pipeline on the
+// paper's Figure-1 graph under an obs.Collector and tables the per-phase
+// round structure: every pruning iteration's flood and the correction
+// choreography, with rounds, traffic, and the inbox high-water mark.
+// Only schedule-independent columns appear (wall timings go to the JSONL
+// trace via `cmd/experiments -trace`), so the table is byte-reproducible.
+func E18RoundTrace(quick bool) (*Table, error) {
+	t := &Table{
+		ID:      "E18",
+		Title:   "round-resolved phase trace of distributed MVC (Figure-1 graph, ε=0.5)",
+		Columns: []string{"phase", "engine runs", "rounds", "messages", "volume", "max inbox"},
+	}
+	c := obs.NewCollector()
+	if _, err := core.ColorChordalDistributedObserved(figures.Fig1(), 0.5, c, nil); err != nil {
+		return nil, fmt.Errorf("E18: %w", err)
+	}
+	for _, ph := range c.Phases() {
+		t.AddRow(ph.Phase, ph.Runs, ph.Rounds, ph.Messages, ph.Volume, ph.MaxInbox)
+	}
+	t.Notes = append(t.Notes,
+		"Rounds count engine steps (the Init step included); messages/volume are per-phase totals.",
+		"Wall and per-shard busy times are deliberately absent: they live in the JSONL trace (`-trace`), keeping this table deterministic.")
+	return t, nil
+}
+
+// E19PeelTrace tables the peeling process layer by layer on a random
+// chordal graph: how many pendant vs internal paths each iteration
+// peels, how many nodes leave, and how fast the clique forest shrinks
+// (the Lemma 6 geometric decay made visible).
+func E19PeelTrace(quick bool) (*Table, error) {
+	n := 2000
+	if quick {
+		n = 400
+	}
+	t := &Table{
+		ID:      "E19",
+		Title:   fmt.Sprintf("per-layer peel trace (random chordal, n=%d, threshold 9)", n),
+		Columns: []string{"layer", "pendant paths", "internal paths", "nodes peeled", "forest cliques", "remaining"},
+	}
+	g := gen.RandomChordal(n, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.4}, 11)
+	c := obs.NewCollector()
+	if _, err := peel.Run(g, peel.Options{InternalDiameter: 9, Trace: c.PeelTrace()}); err != nil {
+		return nil, fmt.Errorf("E19: %w", err)
+	}
+	for _, ev := range c.Events() {
+		t.AddRow(ev.Round, ev.PendantPaths, ev.InternalPaths, ev.NodesPeeled, ev.ForestCliques, ev.Remaining)
+	}
+	t.Notes = append(t.Notes,
+		"Every column is a pure function of (graph, threshold): the peel is deterministic, so this table never drifts.")
+	return t, nil
+}
+
+// TraceRun is the workload behind `cmd/experiments -trace`: it streams a
+// JSONL trace (one event per engine round, plus one per peel layer) for
+// (1) the full distributed coloring of the paper's Figure-1 graph and
+// (2) flooding plus peeling on a 10^4-node random chordal graph (10^3
+// under -quick). The same run is what the profiling flags are expected
+// to wrap, so traces and profiles describe one workload.
+func TraceRun(w io.Writer, quick bool) error {
+	c := obs.NewCollector()
+	c.SetTrace(w)
+
+	// Figure-1 graph: the pruning floods label themselves prune-iNN and
+	// the correction choreography labels itself "correction".
+	c.SetPhase("fig1")
+	if _, err := core.ColorChordalDistributedObserved(figures.Fig1(), 0.5, c, c.PeelTrace()); err != nil {
+		return fmt.Errorf("trace fig1: %w", err)
+	}
+
+	n := 10000
+	if quick {
+		n = 1000
+	}
+	g := gen.RandomChordal(n, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.4}, 11)
+	ix := graph.NewIndexed(g)
+	c.SetPhase(fmt.Sprintf("flood-n%d", n))
+	if _, _, err := dist.CollectBallsIndexedObserved(ix, 4, nil, c); err != nil {
+		return fmt.Errorf("trace flood: %w", err)
+	}
+	c.SetPhase(fmt.Sprintf("peel-n%d", n))
+	if _, err := peel.Run(g, peel.Options{InternalDiameter: 9, Trace: c.PeelTrace()}); err != nil {
+		return fmt.Errorf("trace peel: %w", err)
+	}
+	return c.Err()
+}

@@ -1,0 +1,291 @@
+// Package obs is the repo's observability layer: per-round tracing,
+// counter/gauge registries, and pprof wiring for the LOCAL simulator.
+//
+// The simulation core (internal/dist, internal/core, internal/peel)
+// never reads the wall clock — the LOCAL model measures time in rounds,
+// and the chordalvet wallclock analyzer enforces the invariant. All
+// timing therefore lives here: dist.Engine invokes a caller-supplied
+// RoundObserver at round boundaries, and the Collector in this package
+// stamps those callbacks with wall times itself. internal/obs is the one
+// package under internal/ that chordalvet sanctions as a clock user.
+//
+// A Collector aggregates engine events into an in-memory per-round table
+// (and per-phase summaries) and optionally streams one JSON object per
+// round to a JSONL trace writer. Attaching a nil observer to an engine
+// is the documented zero-cost fast path; attaching a Collector costs a
+// handful of clock reads per round, never per node.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// SchemaVersion is the value of every trace event's "v" field. Bump it
+// when an existing field changes meaning; adding fields is backward
+// compatible and does not bump it.
+const SchemaVersion = 1
+
+// Event kinds. One "round" event is emitted per engine step (the Init
+// step is round 0); "layer" events come from the peeling process via
+// Collector.PeelTrace.
+const (
+	KindRound = "round"
+	KindLayer = "layer"
+)
+
+// Event is one JSONL trace record and one row of the Collector's
+// in-memory table. All fields except the wall/busy timings are pure
+// functions of (graph, protocol) and identical across engine ExecModes;
+// Shards describes the schedule and timings describe the hardware.
+type Event struct {
+	V     int    `json:"v"`
+	Kind  string `json:"kind"`
+	Phase string `json:"phase,omitempty"`
+	// Run is the 0-based ordinal of the engine run under this Collector
+	// (a pruning phase drives many runs through one Collector).
+	Run int `json:"run"`
+	// Round is the step index within the run: 0 for Init, then the
+	// 1-based communication round. For layer events it is the peeling
+	// iteration.
+	Round int `json:"round"`
+
+	// Round-event fields (see dist.RoundStats).
+	Nodes    int `json:"nodes,omitempty"`
+	Shards   int `json:"shards,omitempty"`
+	Messages int `json:"messages"`
+	Volume   int `json:"volume"`
+	Done     int `json:"done"`
+	MaxInbox int `json:"max_inbox"`
+
+	// WallNS is the wall time of the step: node programs plus message
+	// delivery, RoundStart to RoundEnd. BusyNS[s] is worker shard s's
+	// busy time within the step (absent in per-node mode).
+	WallNS int64   `json:"wall_ns"`
+	BusyNS []int64 `json:"busy_ns,omitempty"`
+
+	// Layer-event fields (see peel.LayerEvent).
+	PendantPaths  int `json:"pendant_paths,omitempty"`
+	InternalPaths int `json:"internal_paths,omitempty"`
+	NodesPeeled   int `json:"nodes_peeled,omitempty"`
+	ForestCliques int `json:"forest_cliques,omitempty"`
+	Remaining     int `json:"remaining,omitempty"`
+}
+
+// PhaseSummary aggregates every round event sharing one phase label.
+type PhaseSummary struct {
+	Phase    string
+	Runs     int // engine runs that contributed rounds to this phase
+	Rounds   int // round events (Init steps included)
+	Messages int
+	Volume   int
+	MaxInbox int // high-water mark across the phase's rounds
+	WallNS   int64
+}
+
+// Collector implements dist.RoundObserver (and dist.PhaseSetter): it
+// stamps engine callbacks with wall times, keeps every event in memory,
+// and optionally streams them as JSONL.
+//
+// One Collector may observe many engine runs sequentially (calls to
+// SetPhase between runs label the trace); a single run's ShardStart and
+// ShardEnd arrive concurrently from worker goroutines, which is safe
+// because distinct shard indices write distinct pre-sized slots.
+type Collector struct {
+	mu     sync.Mutex
+	now    func() time.Time // injectable for tests; time.Now by default
+	enc    *json.Encoder    // nil when not tracing
+	encErr error
+
+	phase  string
+	run    int // ordinal of the current/next engine run
+	events []Event
+
+	// In-flight round state. Written by the engine's driving goroutine;
+	// shard slots are written by worker goroutines (distinct indices).
+	roundStart time.Time
+	shardStart []time.Time
+	shardBusy  []int64
+
+	// Optional registry kept updated with running totals.
+	reg *Registry
+}
+
+// NewCollector returns a Collector that keeps events in memory only.
+func NewCollector() *Collector {
+	return &Collector{now: time.Now}
+}
+
+// SetTrace streams every subsequent event to w as JSONL (one JSON object
+// per line). The caller owns w and any buffering/closing.
+func (c *Collector) SetTrace(w io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc = json.NewEncoder(w)
+}
+
+// SetClock substitutes the wall-clock source (tests use a fake clock to
+// make timings deterministic).
+func (c *Collector) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
+}
+
+// SetRegistry keeps reg's rounds_total / messages_total / volume_total
+// counters and nodes_done gauge updated as events arrive.
+func (c *Collector) SetRegistry(reg *Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reg = reg
+}
+
+// SetPhase labels subsequent events with a phase name (implements
+// dist.PhaseSetter). Callers set it between engine runs.
+func (c *Collector) SetPhase(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.phase = name
+}
+
+// Err reports the first trace-write error, if any.
+func (c *Collector) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.encErr
+}
+
+// RunStart implements dist.RoundObserver.
+func (c *Collector) RunStart(nodes, edges int) {}
+
+// RoundStart implements dist.RoundObserver: it stamps the round's start
+// time and pre-sizes the per-shard busy slots.
+func (c *Collector) RoundStart(round, shards int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.roundStart = c.now()
+	if cap(c.shardStart) < shards {
+		c.shardStart = make([]time.Time, shards)
+		c.shardBusy = make([]int64, shards)
+	}
+	c.shardStart = c.shardStart[:shards]
+	c.shardBusy = c.shardBusy[:shards]
+	for i := range c.shardBusy {
+		c.shardBusy[i] = 0
+	}
+}
+
+// ShardStart implements dist.RoundObserver. It may be called from worker
+// goroutines; distinct shard indices touch distinct slots, so no lock is
+// taken (the slices were sized under the lock in RoundStart, and the
+// engine's WaitGroup orders these writes before RoundEnd's reads).
+func (c *Collector) ShardStart(shard int) {
+	c.shardStart[shard] = c.now()
+}
+
+// ShardEnd implements dist.RoundObserver; see ShardStart for the
+// concurrency argument.
+func (c *Collector) ShardEnd(shard int) {
+	c.shardBusy[shard] = c.now().Sub(c.shardStart[shard]).Nanoseconds()
+}
+
+// RoundEnd implements dist.RoundObserver: it materializes the round's
+// Event, appends it to the in-memory table, and streams it if tracing.
+func (c *Collector) RoundEnd(stats dist.RoundStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ev := Event{
+		V:        SchemaVersion,
+		Kind:     KindRound,
+		Phase:    c.phase,
+		Run:      c.run,
+		Round:    stats.Round,
+		Nodes:    stats.Nodes,
+		Shards:   stats.Shards,
+		Messages: stats.Messages,
+		Volume:   stats.Volume,
+		Done:     stats.Done,
+		MaxInbox: stats.MaxInbox,
+		WallNS:   c.now().Sub(c.roundStart).Nanoseconds(),
+	}
+	if len(c.shardBusy) > 0 {
+		ev.BusyNS = append([]int64(nil), c.shardBusy...)
+	}
+	if c.reg != nil {
+		c.reg.Counter("rounds_total").Add(1)
+		c.reg.Counter("messages_total").Add(int64(stats.Messages))
+		c.reg.Counter("volume_total").Add(int64(stats.Volume))
+		c.reg.Gauge("nodes_done").Set(int64(stats.Done))
+	}
+	c.emit(ev)
+}
+
+// RunEnd implements dist.RoundObserver: it closes out the run ordinal so
+// the next engine run under this Collector is distinguishable.
+func (c *Collector) RunEnd(rounds int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.run++
+}
+
+// emit appends and streams one event. Callers hold c.mu.
+func (c *Collector) emit(ev Event) {
+	c.events = append(c.events, ev)
+	if c.enc != nil {
+		if err := c.enc.Encode(ev); err != nil && c.encErr == nil {
+			c.encErr = err
+		}
+	}
+}
+
+// Events returns a copy of the in-memory event table.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Phases aggregates the round events into one summary per phase label,
+// in order of first appearance.
+func (c *Collector) Phases() []PhaseSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []PhaseSummary
+	index := make(map[string]int)
+	lastRun := make(map[string]int)
+	for _, ev := range c.events {
+		if ev.Kind != KindRound {
+			continue
+		}
+		i, ok := index[ev.Phase]
+		if !ok {
+			i = len(out)
+			index[ev.Phase] = i
+			out = append(out, PhaseSummary{Phase: ev.Phase})
+			lastRun[ev.Phase] = -1
+		}
+		s := &out[i]
+		if lastRun[ev.Phase] != ev.Run {
+			lastRun[ev.Phase] = ev.Run
+			s.Runs++
+		}
+		s.Rounds++
+		s.Messages += ev.Messages
+		s.Volume += ev.Volume
+		s.WallNS += ev.WallNS
+		if ev.MaxInbox > s.MaxInbox {
+			s.MaxInbox = ev.MaxInbox
+		}
+	}
+	return out
+}
+
+// Compile-time check: Collector is a dist observer and phase setter.
+var (
+	_ dist.RoundObserver = (*Collector)(nil)
+	_ dist.PhaseSetter   = (*Collector)(nil)
+)

@@ -53,6 +53,25 @@ type Result struct {
 	Forests []*cliquetree.Forest
 }
 
+// LayerEvent is the per-iteration summary handed to Options.Trace after
+// each peeling iteration. Every field is a pure function of the input
+// graph and options (the peeling process is deterministic), so traces
+// are byte-identical across runs.
+type LayerEvent struct {
+	// Iteration is the 1-based peeling iteration (Layer.Index).
+	Iteration int
+	// PendantPaths / InternalPaths count the peeled paths by kind.
+	PendantPaths  int
+	InternalPaths int
+	// NodesPeeled is |V_i|, the nodes removed by this iteration.
+	NodesPeeled int
+	// ForestCliques is the number of cliques in T_i, the clique forest
+	// of the graph this iteration peeled from.
+	ForestCliques int
+	// Remaining is the number of nodes left after this iteration.
+	Remaining int
+}
+
 // Options configures the peeling process.
 type Options struct {
 	// InternalDiameter peels maximal internal paths with diameter at
@@ -66,6 +85,10 @@ type Options struct {
 	// iteration's internal-path rule to "independence number at least
 	// FinalAlpha" (Algorithm 6's last iteration).
 	FinalAlpha int
+	// Trace, when non-nil, receives one LayerEvent per iteration, after
+	// the layer's nodes are removed. It must not retain references into
+	// the run's internal state (events are plain values, so it cannot).
+	Trace func(LayerEvent)
 }
 
 // Run executes the peeling process on a chordal graph.
@@ -95,6 +118,22 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 		}
 		res.Layers = append(res.Layers, *layer)
 		remaining.RemoveNodes(layer.Nodes)
+		if opts.Trace != nil {
+			ev := LayerEvent{
+				Iteration:     iteration,
+				NodesPeeled:   len(layer.Nodes),
+				ForestCliques: forest.NumVertices(),
+				Remaining:     remaining.NumNodes(),
+			}
+			for _, p := range layer.Paths {
+				if p.Kind == cliquetree.Pendant {
+					ev.PendantPaths++
+				} else {
+					ev.InternalPaths++
+				}
+			}
+			opts.Trace(ev)
+		}
 	}
 	res.Remaining = graph.NewSet(remaining.Nodes()...)
 	return res, nil
