@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race fuzz-smoke ci bench-smoke bench bench-json trace-smoke experiments
+.PHONY: all build test vet lint race fuzz-smoke ci bench-smoke bench bench-json trace-smoke chaos-smoke experiments
 
 all: build test
 
@@ -36,9 +36,9 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzChordalPipeline$$' -fuzztime 10s ./internal/interval
 
 # The full CI gate: compile, vet, chordalvet, race-detect the concurrent
-# core, then run the whole test suite. .github/workflows/ci.yml runs
-# exactly this target.
-ci: build vet lint race test
+# core, run the whole test suite, then the fault-injection smoke.
+# .github/workflows/ci.yml runs exactly this target.
+ci: build vet lint race test chaos-smoke
 
 # Quick-mode benchmark smoke: one iteration of the substrate and
 # experiment benchmarks, with allocation reporting. Finishes in minutes.
@@ -51,9 +51,9 @@ bench:
 
 # Machine-readable benchmark record: the engine/flood/prune/peel
 # benchmarks through `go test -json`, post-processed by cmd/benchjson
-# into the repo's perf-trajectory format. BENCH_3.json in the repo root
+# into the repo's perf-trajectory format. BENCH_4.json in the repo root
 # is a recorded run of exactly this target.
-BENCHJSON_OUT ?= BENCH_3.json
+BENCHJSON_OUT ?= BENCH_4.json
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineRound|BenchmarkFloodRadius|BenchmarkFloodN100k|BenchmarkFloodBallCollection|BenchmarkDistributedPruneN256|BenchmarkPeelingN4096' \
 		-benchmem -json . | $(GO) run ./cmd/benchjson -out $(BENCHJSON_OUT)
@@ -66,6 +66,17 @@ trace-smoke:
 	$(GO) run ./cmd/experiments -quick -trace trace-smoke/trace.jsonl \
 		-cpuprofile trace-smoke/cpu.pprof -memprofile trace-smoke/mem.pprof
 	@wc -l trace-smoke/trace.jsonl
+
+# Fault-injection smoke: run the -faults trace workload in quick mode
+# (fault-injected pruning on the Figure-1 graph plus a retransmitting
+# flood under 20% message loss), leaving the schema-v2 trace in
+# ./chaos-smoke/. The schedule is a pure function of the seed, so the
+# trace is byte-reproducible; CI uploads the directory.
+chaos-smoke:
+	mkdir -p chaos-smoke
+	$(GO) run ./cmd/experiments -quick -trace chaos-smoke/trace.jsonl \
+		-faults drop=0.2,dup=0.2,delay=2 -fault-seed 7
+	@wc -l chaos-smoke/trace.jsonl
 
 # Full experiment tables as recorded in EXPERIMENTS.md (slow).
 experiments:

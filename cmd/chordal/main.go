@@ -12,8 +12,11 @@
 //	chordal -alg gen        -gen random -n 100 -out graph.json
 //
 // The distributed algorithms (color-dist, mis-dist) accept -trace to
-// stream a JSONL round trace of every engine run; -cpuprofile,
-// -memprofile, and -pprof profile any invocation.
+// stream a JSONL round trace of every engine run, and -faults to attach
+// a deterministic fault schedule (drop=P,dup=P,delay=D,crash=NODE@ROUND,
+// seeded by -fault-seed) to those runs — duplication and delay are
+// absorbed, drops and crashes surface as diagnosable errors;
+// -cpuprofile, -memprofile, and -pprof profile any invocation.
 package main
 
 import (
@@ -45,6 +48,8 @@ func main() {
 		maxClique  = flag.Int("maxclique", 5, "generator clique-size parameter")
 		seed       = flag.Int64("seed", 1, "generator seed")
 		trace      = flag.String("trace", "", "write a JSONL round trace (color-dist and mis-dist only)")
+		faults     = flag.String("faults", "", "fault spec drop=P,dup=P,delay=D,crash=NODE@ROUND (color-dist and mis-dist only)")
+		faultSeed  = flag.Uint64("fault-seed", 7, "seed of the deterministic fault schedule used by -faults")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address for the duration of the run")
@@ -52,14 +57,14 @@ func main() {
 	flag.Parse()
 
 	if err := run(*alg, *eps, *in, *out, *genKind, *n, *maxClique, *seed,
-		*trace, *cpuprofile, *memprofile, *pprofAddr); err != nil {
+		*trace, *faults, *faultSeed, *cpuprofile, *memprofile, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "chordal:", err)
 		os.Exit(1)
 	}
 }
 
 func run(alg string, eps float64, in, out, genKind string, n, maxClique int, seed int64,
-	trace, cpuprofile, memprofile, pprofAddr string) error {
+	trace, faults string, faultSeed uint64, cpuprofile, memprofile, pprofAddr string) error {
 	if cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(cpuprofile)
 		if err != nil {
@@ -104,6 +109,19 @@ func run(alg string, eps float64, in, out, genKind string, n, maxClique int, see
 				fmt.Fprintln(os.Stderr, "chordal: trace:", err)
 			}
 		}()
+	}
+
+	// The fault plan is nil unless -faults is given, so unfaulted runs
+	// keep the engine's zero-cost delivery path.
+	var faultPlan *dist.Faults
+	if faults != "" {
+		if alg != "color-dist" && alg != "mis-dist" {
+			return fmt.Errorf("-faults applies to the distributed algorithms (color-dist, mis-dist)")
+		}
+		var err error
+		if faultPlan, err = dist.ParseFaults(faults, faultSeed); err != nil {
+			return err
+		}
 	}
 
 	g, err := loadOrGenerate(in, genKind, n, maxClique, seed)
@@ -196,7 +214,7 @@ func run(alg string, eps float64, in, out, genKind string, n, maxClique int, see
 		if collector != nil {
 			peelTrace = collector.PeelTrace()
 		}
-		res, err := core.ColorChordalDistributedObserved(g, eps, observer, peelTrace)
+		res, err := core.ColorChordalDistributedFaulty(g, eps, observer, peelTrace, faultPlan)
 		if err != nil {
 			return err
 		}
@@ -217,7 +235,7 @@ func run(alg string, eps float64, in, out, genKind string, n, maxClique int, see
 		if collector != nil {
 			peelTrace = collector.PeelTrace()
 		}
-		res, err := core.MISChordalDistributedObserved(g, eps, observer, peelTrace)
+		res, err := core.MISChordalDistributedFaulty(g, eps, observer, peelTrace, faultPlan)
 		if err != nil {
 			return err
 		}

@@ -13,7 +13,7 @@ func TestRunAlgorithms(t *testing.T) {
 		if alg == "mis-interval" {
 			genKind = "interval"
 		}
-		if err := run(alg, 0.5, "", "", genKind, 60, 4, 1, "", "", "", ""); err != nil {
+		if err := run(alg, 0.5, "", "", genKind, 60, 4, 1, "", "", 7, "", "", ""); err != nil {
 			t.Errorf("alg %s: %v", alg, err)
 		}
 	}
@@ -23,10 +23,10 @@ func TestRunDistributedAlgorithms(t *testing.T) {
 	if testing.Short() {
 		t.Skip("distributed runs are slower")
 	}
-	if err := run("color-dist", 0.7, "", "", "random", 50, 4, 2, "", "", "", ""); err != nil {
+	if err := run("color-dist", 0.7, "", "", "random", 50, 4, 2, "", "", 7, "", "", ""); err != nil {
 		t.Errorf("color-dist: %v", err)
 	}
-	if err := run("mis-dist", 0.8, "", "", "random", 40, 4, 2, "", "", "", ""); err != nil {
+	if err := run("mis-dist", 0.8, "", "", "random", 40, 4, 2, "", "", 7, "", "", ""); err != nil {
 		t.Errorf("mis-dist: %v", err)
 	}
 }
@@ -39,7 +39,7 @@ func TestRunTraceAndProfiles(t *testing.T) {
 	trace := filepath.Join(dir, "run.jsonl")
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
-	if err := run("color-dist", 0.7, "", "", "random", 50, 4, 2, trace, cpu, mem, ""); err != nil {
+	if err := run("color-dist", 0.7, "", "", "random", 50, 4, 2, trace, "", 7, cpu, mem, ""); err != nil {
 		t.Fatalf("traced color-dist: %v", err)
 	}
 	for _, p := range []string{trace, cpu, mem} {
@@ -56,43 +56,62 @@ func TestRunTraceAndProfiles(t *testing.T) {
 func TestRunGenerateAndLoad(t *testing.T) {
 	dir := t.TempDir()
 	file := filepath.Join(dir, "g.json")
-	if err := run("gen", 0.5, "", file, "random", 30, 4, 3, "", "", "", ""); err != nil {
+	if err := run("gen", 0.5, "", file, "random", 30, 4, 3, "", "", 7, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(file); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("color", 0.5, file, "", "", 0, 0, 0, "", "", "", ""); err != nil {
+	if err := run("color", 0.5, file, "", "", 0, 0, 0, "", "", 7, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", 0.5, "", "", "random", 10, 3, 1, "", "", "", ""); err == nil {
+	if err := run("nope", 0.5, "", "", "random", 10, 3, 1, "", "", 7, "", "", ""); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run("color", 0.5, "", "", "nope", 10, 3, 1, "", "", "", ""); err == nil {
+	if err := run("color", 0.5, "", "", "nope", 10, 3, 1, "", "", 7, "", "", ""); err == nil {
 		t.Error("unknown generator accepted")
 	}
-	if err := run("color", 0.5, "/does/not/exist.json", "", "", 0, 0, 0, "", "", "", ""); err == nil {
+	if err := run("color", 0.5, "/does/not/exist.json", "", "", 0, 0, 0, "", "", 7, "", "", ""); err == nil {
 		t.Error("missing input file accepted")
 	}
 }
 
 func TestRunAllGenerators(t *testing.T) {
 	for _, kind := range []string{"random", "interval", "tree", "path", "ktree"} {
-		if err := run("check", 0.5, "", "", kind, 40, 3, 4, "", "", "", ""); err != nil {
+		if err := run("check", 0.5, "", "", kind, 40, 3, 4, "", "", 7, "", "", ""); err != nil {
 			t.Errorf("generator %s: %v", kind, err)
 		}
 	}
 }
 
 func TestRunRecognize(t *testing.T) {
-	if err := run("recognize", 0.5, "", "", "interval", 40, 4, 2, "", "", "", ""); err != nil {
+	if err := run("recognize", 0.5, "", "", "interval", 40, 4, 2, "", "", 7, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// Non-interval input is rejected cleanly.
-	if err := run("recognize", 0.5, "", "", "random", 60, 4, 3, "", "", "", ""); err == nil {
+	if err := run("recognize", 0.5, "", "", "random", 60, 4, 3, "", "", 7, "", "", ""); err == nil {
 		t.Log("random chordal happened to be interval; acceptable")
+	}
+}
+
+func TestRunFaultFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed runs are slower")
+	}
+	// Absorbable faults (duplication + delay) leave the distributed
+	// coloring correct; the run must succeed.
+	if err := run("color-dist", 0.7, "", "", "random", 50, 4, 2, "", "dup=0.2,delay=2", 7, "", "", ""); err != nil {
+		t.Errorf("color-dist under dup+delay: %v", err)
+	}
+	// -faults on a non-distributed algorithm is a usage error.
+	if err := run("color", 0.5, "", "", "random", 30, 4, 1, "", "dup=0.2", 7, "", "", ""); err == nil {
+		t.Error("-faults accepted for a centralized algorithm")
+	}
+	// A malformed spec is rejected before any work happens.
+	if err := run("color-dist", 0.7, "", "", "random", 30, 4, 1, "", "dorp=0.2", 7, "", "", ""); err == nil {
+		t.Error("malformed -faults spec accepted")
 	}
 }

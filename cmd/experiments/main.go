@@ -1,16 +1,21 @@
 // Command experiments regenerates every experiment table from DESIGN.md's
-// per-experiment index (E1–E19); EXPERIMENTS.md records a full run.
+// per-experiment index (E1–E21); EXPERIMENTS.md records a full run.
 //
 // Usage:
 //
 //	experiments [-quick] [-only E7,E13]
+//	experiments [-quick] -trace out.jsonl [-faults drop=0.2,dup=0.2,delay=2] [-fault-seed 7]
 //	experiments [-quick] -trace out.jsonl [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-pprof 127.0.0.1:6060]
 //
 // With -trace the command runs the round-tracing workload (the full
 // distributed coloring of the Figure-1 graph plus flooding and peeling
 // on a 10^4-node random chordal graph — 10^3 with -quick) and streams a
-// JSONL trace, one event per engine round. The profiling flags work with
-// or without -trace; they wrap whatever workload the invocation runs.
+// JSONL trace, one event per engine round. Adding -faults switches to
+// the fault-injection workload: the spec is
+// drop=P,dup=P,delay=D,crash=NODE@ROUND (any subset), the schedule is a
+// pure function of -fault-seed, and the trace carries the schema-v2
+// fault fields. The profiling flags work with or without -trace; they
+// wrap whatever workload the invocation runs.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/dist"
 	"repro/internal/exp"
 	"repro/internal/obs"
 )
@@ -27,18 +33,20 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink parameter sweeps for a fast run")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E7); empty = all")
 	trace := flag.String("trace", "", "write a JSONL round trace of the tracing workload to this file (skips the tables)")
+	faults := flag.String("faults", "", "fault spec drop=P,dup=P,delay=D,crash=NODE@ROUND for the -trace workload")
+	faultSeed := flag.Uint64("fault-seed", 7, "seed of the deterministic fault schedule used by -faults")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for the duration of the run")
 	flag.Parse()
 
-	if err := run(*quick, *only, *trace, *cpuprofile, *memprofile, *pprofAddr); err != nil {
+	if err := run(*quick, *only, *trace, *faults, *faultSeed, *cpuprofile, *memprofile, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, only, trace, cpuprofile, memprofile, pprofAddr string) error {
+func run(quick bool, only, trace, faults string, faultSeed uint64, cpuprofile, memprofile, pprofAddr string) error {
 	if cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(cpuprofile)
 		if err != nil {
@@ -66,13 +74,24 @@ func run(quick bool, only, trace, cpuprofile, memprofile, pprofAddr string) erro
 		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", bound)
 	}
 
+	if faults != "" && trace == "" {
+		return fmt.Errorf("-faults applies to the -trace workload; pass -trace too")
+	}
 	if trace != "" {
 		f, err := os.Create(trace)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := exp.TraceRun(f, quick); err != nil {
+		if faults != "" {
+			plan, err := dist.ParseFaults(faults, faultSeed)
+			if err != nil {
+				return err
+			}
+			if err := exp.FaultTraceRun(f, quick, plan); err != nil {
+				return err
+			}
+		} else if err := exp.TraceRun(f, quick); err != nil {
 			return err
 		}
 		return f.Close()
@@ -94,10 +113,12 @@ func run(quick bool, only, trace, cpuprofile, memprofile, pprofAddr string) erro
 		"E13": exp.E13LowerBound, "E14": exp.E14Baselines,
 		"E15": exp.E15LocalViewCoherence, "E16": exp.E16BeyondChordal,
 		"E17": exp.E17MessageComplexity, "E18": exp.E18RoundTrace,
-		"E19": exp.E19PeelTrace,
+		"E19": exp.E19PeelTrace, "E20": exp.E20FaultMatrix,
+		"E21": exp.E21RetransFlood,
 	}
 	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
-		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
+		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19",
+		"E20", "E21"}
 	for _, id := range order {
 		if !wanted[id] {
 			continue

@@ -17,7 +17,7 @@ func TestTraceAndProfileSmoke(t *testing.T) {
 	trace := filepath.Join(dir, "out.jsonl")
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
-	if err := run(true, "", trace, cpu, mem, ""); err != nil {
+	if err := run(true, "", trace, "", 7, cpu, mem, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []string{trace, cpu, mem} {
@@ -35,7 +35,13 @@ func TestOnlySelection(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are slow")
 	}
-	if err := run(true, "E18,E19", "", "", "", ""); err != nil {
+	if err := run(true, "E18,E19", "", "", 7, "", "", ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFaultsRequireTrace(t *testing.T) {
+	if err := run(true, "", "", "drop=0.2", 7, "", "", ""); err == nil {
+		t.Error("-faults without -trace accepted")
 	}
 }

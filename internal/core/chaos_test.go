@@ -1,0 +1,132 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/figures"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestColorChordalAbsorbsDupAndDelay: the round-synchronous model must
+// absorb duplication and delay — the full distributed coloring pipeline
+// (pruning floods + correction choreography) produces a byte-identical
+// coloring under them.
+func TestColorChordalAbsorbsDupAndDelay(t *testing.T) {
+	g := figures.Fig1()
+	want, err := ColorChordalDistributed(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &dist.Faults{Plan: fault.Plan{Seed: 21, Dup: 0.3, MaxDelay: 2}}
+	got, err := ColorChordalDistributedFaulty(g, 0.5, nil, nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ColorsUsed != want.ColorsUsed {
+		t.Fatalf("dup/delay changed the palette: %d colors vs %d", got.ColorsUsed, want.ColorsUsed)
+	}
+	for v, c := range want.Colors {
+		if got.Colors[v] != c {
+			t.Errorf("node %d: color %d under dup/delay, want %d", v, got.Colors[v], c)
+		}
+	}
+	if got.Rounds != want.Rounds {
+		t.Errorf("dup/delay changed the round count: %d vs %d", got.Rounds, want.Rounds)
+	}
+}
+
+// TestColorChordalDropDiverges: without retransmission, dropped messages
+// corrupt the pruning floods, and the built-in Lemma-12 cross-check (or
+// the prune's own termination guard) must turn that into a clean error —
+// never a silently wrong coloring.
+func TestColorChordalDropDiverges(t *testing.T) {
+	g := figures.Fig1()
+	f := &dist.Faults{Plan: fault.Plan{Seed: 2, Drop: 0.3}}
+	col, err := ColorChordalDistributedFaulty(g, 0.5, nil, nil, f)
+	if err == nil {
+		// An undetected-corruption escape would return a coloring built
+		// from truncated balls; the contract is a diagnosable error.
+		t.Fatalf("30%% drop produced no error (got %d colors)", col.ColorsUsed)
+	}
+	t.Logf("drop diagnosis: %v", err)
+}
+
+// TestColorChordalCrashErrors: a crash schedule must fail the run with
+// an error naming the node, not hang or time out.
+func TestColorChordalCrashErrors(t *testing.T) {
+	g := figures.Fig1()
+	f := &dist.Faults{Crash: map[graph.ID]int{7: 2}}
+	_, err := ColorChordalDistributedFaulty(g, 0.5, nil, nil, f)
+	if err == nil {
+		t.Fatal("crash of node 7 produced no error")
+	}
+	if !strings.Contains(err.Error(), "node 7 crashed") {
+		t.Errorf("error %q does not name the crashed node", err)
+	}
+}
+
+// TestMISChordalAbsorbsDupAndDelay: same absorption guarantee for the
+// MIS pipeline.
+func TestMISChordalAbsorbsDupAndDelay(t *testing.T) {
+	g := gen.RandomChordal(60, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.5}, 47)
+	want, err := MISChordalDistributed(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &dist.Faults{Plan: fault.Plan{Seed: 33, Dup: 0.25, MaxDelay: 3}}
+	got, err := MISChordalDistributedFaulty(g, 0.5, nil, nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Set.Equal(want.Set) {
+		t.Fatalf("dup/delay changed the MIS: %v vs %v", got.Set, want.Set)
+	}
+}
+
+// TestMISChordalDropDiverges: drop corruption of the pruning floods is
+// diagnosable in the MIS pipeline too. There is no correction phase to
+// stall here, so the detection relies on Knowledge.CoversComponent
+// refusing to certify a drop-truncated ball (its known set is not
+// adjacency-closed): the affected nodes fall back to deciding from
+// their partial view, which either diverges from the centralized peel
+// or peels nothing and trips the prune's progress guard.
+func TestMISChordalDropDiverges(t *testing.T) {
+	g := gen.KTree(60, 1, 47)
+	f := &dist.Faults{Plan: fault.Plan{Seed: 8, Drop: 0.5}}
+	res, err := MISChordalDistributedFaulty(g, 0.5, nil, nil, f)
+	if err == nil {
+		t.Fatalf("50%% drop produced no error (got MIS of %d)", len(res.Set))
+	}
+	t.Logf("drop diagnosis: %v", err)
+}
+
+// TestCorrectionPhaseAbsorbsDup: the correction choreography dedups
+// every message kind (seenFinal/seenSet), so duplication alone must not
+// change the measured schedule length or the choreography's success.
+func TestCorrectionPhaseAbsorbsDup(t *testing.T) {
+	g := figures.Fig1()
+	want, err := ColorChordalDistributed(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcome, err := DistributedPrune(g, EffectiveK(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRounds, err := RunCorrectionPhase(g, outcome.Layer, outcome.Parent, want.Colors, EffectiveK(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &dist.Faults{Plan: fault.Plan{Seed: 14, Dup: 0.4}}
+	faultRounds, err := RunCorrectionPhaseFaulty(g, outcome.Layer, outcome.Parent, want.Colors, EffectiveK(0.5), nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faultRounds != cleanRounds {
+		t.Errorf("dup changed the correction schedule length: %d vs %d", faultRounds, cleanRounds)
+	}
+}

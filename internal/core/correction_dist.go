@@ -131,6 +131,15 @@ func RunCorrectionPhase(g *graph.Graph, layer map[graph.ID]int, parent map[graph
 // RunCorrectionPhaseObserved is RunCorrectionPhase with a RoundObserver
 // attached to the correction engine (nil behaves identically).
 func RunCorrectionPhaseObserved(g *graph.Graph, layer map[graph.ID]int, parent map[graph.ID]graph.ID, finalColors map[graph.ID]int, k int, o dist.RoundObserver) (int, error) {
+	return RunCorrectionPhaseFaulty(g, layer, parent, finalColors, k, o, nil)
+}
+
+// RunCorrectionPhaseFaulty is RunCorrectionPhaseObserved with a fault
+// schedule attached to the correction engine. The choreography dedups
+// every message kind (seenFinal/seenSet), so duplication and delay leave
+// the corrected coloring untouched; dropped messages stall the
+// choreography and surface as the engine's did-not-terminate error.
+func RunCorrectionPhaseFaulty(g *graph.Graph, layer map[graph.ID]int, parent map[graph.ID]graph.ID, finalColors map[graph.ID]int, k int, o dist.RoundObserver, f *dist.Faults) (int, error) {
 	children := make(map[graph.ID]map[int][]graph.ID)
 	for child, p := range parent {
 		if children[p] == nil {
@@ -172,6 +181,7 @@ func RunCorrectionPhaseObserved(g *graph.Graph, layer map[graph.ID]int, parent m
 		return node
 	})
 	eng.Observer = o
+	eng.Faults = f
 	res, err := eng.Run(20 * (g.NumNodes() + 10) * (k + 5))
 	if err != nil {
 		return 0, fmt.Errorf("correction phase: %w", err)

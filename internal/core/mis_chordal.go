@@ -88,6 +88,15 @@ func MISChordalDistributed(g *graph.Graph, eps float64) (*ChordalMISResult, erro
 // phase-labeled per iteration, and peelTrace (may be nil) receives the
 // centralized cross-check peel's per-layer events.
 func MISChordalDistributedObserved(g *graph.Graph, eps float64, o dist.RoundObserver, peelTrace func(peel.LayerEvent)) (*ChordalMISResult, error) {
+	return MISChordalDistributedFaulty(g, eps, o, peelTrace, nil)
+}
+
+// MISChordalDistributedFaulty is MISChordalDistributedObserved with a
+// fault schedule attached to every pruning flood. Duplication and delay
+// are absorbed (the MIS is byte-identical to the fault-free run); drops
+// corrupt the pruning layers and are caught by the centralized
+// cross-check below, and crashes surface as engine errors.
+func MISChordalDistributedFaulty(g *graph.Graph, eps float64, o dist.RoundObserver, peelTrace func(peel.LayerEvent), f *dist.Faults) (*ChordalMISResult, error) {
 	if eps <= 0 || eps >= 1 {
 		return nil, fmt.Errorf("epsilon must be in (0,1), got %v", eps)
 	}
@@ -98,6 +107,7 @@ func MISChordalDistributedObserved(g *graph.Graph, eps float64, o dist.RoundObse
 		MaxIterations: iterations,
 		FinalAlpha:    d,
 		Observer:      o,
+		Faults:        f,
 	}
 	outcome, err := DistributedPruneSpec(g, spec)
 	if err != nil {

@@ -47,6 +47,11 @@ type PruneSpec struct {
 	// If it also implements dist.PhaseSetter, each iteration's flood is
 	// labeled "prune-iNN" so traces resolve the phase structure.
 	Observer dist.RoundObserver
+	// Faults, when non-nil, attaches the fault schedule to every
+	// flooding engine run. The plain flood tolerates duplication and
+	// delay; dropped messages shrink balls and typically surface as a
+	// Lemma-12 divergence in the callers' centralized cross-check.
+	Faults *dist.Faults
 }
 
 // DistributedPrune runs the PruneTree subroutine of Algorithm 2 with
@@ -93,7 +98,7 @@ func DistributedPruneSpec(g *graph.Graph, spec PruneSpec) (*PruneOutcome, error)
 		if ps, ok := spec.Observer.(dist.PhaseSetter); ok {
 			ps.SetPhase(fmt.Sprintf("prune-i%02d", iteration))
 		}
-		know, stats, err := dist.CollectBallsIndexedObserved(ix, spec.Radius, notes, spec.Observer)
+		know, stats, err := dist.CollectBallsIndexedFaulty(ix, spec.Radius, notes, spec.Observer, spec.Faults)
 		if err != nil {
 			return nil, err
 		}
@@ -587,11 +592,22 @@ func ColorChordalDistributed(g *graph.Graph, eps float64) (*ChordalColoring, err
 // choreography, labeled "correction" — and peelTrace (may be nil)
 // receives the centralized cross-check peel's per-layer events.
 func ColorChordalDistributedObserved(g *graph.Graph, eps float64, o dist.RoundObserver, peelTrace func(peel.LayerEvent)) (*ChordalColoring, error) {
+	return ColorChordalDistributedFaulty(g, eps, o, peelTrace, nil)
+}
+
+// ColorChordalDistributedFaulty is ColorChordalDistributedObserved with
+// a fault schedule attached to every engine run (the pruning floods and
+// the correction choreography). Duplication and delay are absorbed — the
+// coloring is byte-identical to the fault-free run — while drops and
+// crashes surface as errors: the Lemma-12 cross-check against the
+// centralized peel catches corrupted pruning, and the engine reports
+// crashes directly.
+func ColorChordalDistributedFaulty(g *graph.Graph, eps float64, o dist.RoundObserver, peelTrace func(peel.LayerEvent), f *dist.Faults) (*ChordalColoring, error) {
 	if eps <= 0 {
 		return nil, fmt.Errorf("epsilon must be positive, got %v", eps)
 	}
 	k := EffectiveK(eps)
-	outcome, err := DistributedPruneSpec(g, PruneSpec{DiamThreshold: 3 * k, Radius: 10 * k, Observer: o})
+	outcome, err := DistributedPruneSpec(g, PruneSpec{DiamThreshold: 3 * k, Radius: 10 * k, Observer: o, Faults: f})
 	if err != nil {
 		return nil, fmt.Errorf("distributed prune: %w", err)
 	}
@@ -625,7 +641,7 @@ func ColorChordalDistributedObserved(g *graph.Graph, eps float64, o dist.RoundOb
 	if ps, ok := o.(dist.PhaseSetter); ok {
 		ps.SetPhase("correction")
 	}
-	corrRounds, err := RunCorrectionPhaseObserved(g, outcome.Layer, outcome.Parent, col.Colors, k, o)
+	corrRounds, err := RunCorrectionPhaseFaulty(g, outcome.Layer, outcome.Parent, col.Colors, k, o, f)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,243 @@
+package dist
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestEmptyGraphAllModes: a node-count-0 network must terminate
+// immediately with an empty output map under every schedule.
+func TestEmptyGraphAllModes(t *testing.T) {
+	g := graph.New()
+	for _, mode := range []ExecMode{ModePooled, ModePerNode, ModeSequential} {
+		eng := NewEngine(g, func(v graph.ID) Protocol {
+			t.Fatal("factory called for empty graph")
+			return nil
+		})
+		eng.Mode = mode
+		res, err := eng.Run(5)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if res.Rounds != 0 || len(res.Outputs) != 0 || res.Messages != 0 {
+			t.Errorf("mode %v: empty graph ran %d rounds, %d outputs", mode, res.Rounds, len(res.Outputs))
+		}
+	}
+}
+
+// TestRunTwiceErrors: protocols hold terminal state after a run, so a
+// second Run must fail loudly instead of reporting a 0-round success.
+func TestRunTwiceErrors(t *testing.T) {
+	g := gen.Cycle(8)
+	eng := NewEngine(g, func(v graph.ID) Protocol {
+		return &countingProtocol{limit: 3}
+	})
+	res, err := eng.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds == 0 {
+		t.Fatal("first run reported 0 rounds")
+	}
+	if _, err := eng.Run(10); err == nil || !strings.Contains(err.Error(), "Run called twice") {
+		t.Fatalf("second Run: err = %v, want 'Run called twice' error", err)
+	}
+}
+
+// shardsObserver records the shard count RoundStart announces and the
+// one RoundEnd reports, per round.
+type shardsObserver struct {
+	mu         sync.Mutex
+	startByRnd map[int]int
+	endByRnd   map[int]int
+}
+
+func (o *shardsObserver) RunStart(nodes, edges int) {}
+func (o *shardsObserver) RoundStart(round, shards int) {
+	o.mu.Lock()
+	o.startByRnd[round] = shards
+	o.mu.Unlock()
+}
+func (o *shardsObserver) ShardStart(shard int) {}
+func (o *shardsObserver) ShardEnd(shard int)   {}
+func (o *shardsObserver) RoundEnd(stats RoundStats) {
+	o.mu.Lock()
+	o.endByRnd[stats.Round] = stats.Shards
+	o.mu.Unlock()
+}
+func (o *shardsObserver) RunEnd(rounds int) {}
+
+// gomaxprocsProtocol shrinks GOMAXPROCS mid-run (from node 0, round 2)
+// to force the pooled schedule's shard count to change between rounds.
+type gomaxprocsProtocol struct {
+	id     graph.ID
+	rounds int
+	limit  int
+	target int
+}
+
+func (p *gomaxprocsProtocol) Init(ctx *Context) { ctx.Broadcast(1) }
+func (p *gomaxprocsProtocol) Round(ctx *Context, inbox []Message) {
+	p.rounds++
+	if p.id == 0 && p.rounds == 2 {
+		runtime.GOMAXPROCS(p.target)
+	}
+	if p.rounds < p.limit {
+		ctx.Broadcast(1)
+	}
+}
+func (p *gomaxprocsProtocol) Done() bool  { return p.rounds >= p.limit }
+func (p *gomaxprocsProtocol) Output() any { return nil }
+
+// TestShardsConsistentUnderGOMAXPROCSChange is the regression test for
+// RoundStats.Shards being recomputed at RoundEnd: a GOMAXPROCS change
+// between a round's step and its collect made RoundStart and RoundEnd
+// disagree about the shard count. The engine must report the count the
+// step actually used.
+func TestShardsConsistentUnderGOMAXPROCSChange(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	obs := &shardsObserver{startByRnd: make(map[int]int), endByRnd: make(map[int]int)}
+	eng := NewEngine(gen.Cycle(100), func(v graph.ID) Protocol {
+		return &gomaxprocsProtocol{id: v, limit: 5, target: 2}
+	})
+	eng.Mode = ModePooled
+	eng.Observer = obs
+	if _, err := eng.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	for round, start := range obs.startByRnd {
+		if end, ok := obs.endByRnd[round]; !ok || end != start {
+			t.Errorf("round %d: RoundStart announced %d shards, RoundEnd reported %d", round, start, end)
+		}
+	}
+	// The change must actually have taken: 100 nodes over 4 procs is 4
+	// shards, over 2 procs it is 2 — if every round saw the same count
+	// the regression scenario was never exercised.
+	distinct := make(map[int]bool)
+	for _, s := range obs.startByRnd {
+		distinct[s] = true
+	}
+	if len(distinct) < 2 {
+		t.Skipf("GOMAXPROCS change did not alter shard count (counts %v); machine too narrow to exercise the regression", distinct)
+	}
+}
+
+// TestDoneFlipContinuesRun: oscillating nodes next to a late-settling
+// node force the run through repeated Done→not-Done transitions (the
+// negative delta path) while the run keeps going; the counter must not
+// drift under any schedule.
+func TestDoneFlipContinuesRun(t *testing.T) {
+	g := gen.Cycle(12)
+	for _, mode := range []ExecMode{ModePooled, ModePerNode, ModeSequential} {
+		eng := NewEngine(g, func(v graph.ID) Protocol {
+			return &oscillatingProtocol{settle: 7}
+		})
+		eng.Mode = mode
+		res, err := eng.Run(20)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if res.Rounds != 0 {
+			// All-oscillator networks are Done right after Init (round 0
+			// counts as even); this pins the baseline the mixed case
+			// below must beat.
+			t.Fatalf("mode %v: homogeneous oscillators stopped at round %d, want 0", mode, res.Rounds)
+		}
+	}
+	for _, mode := range []ExecMode{ModePooled, ModePerNode, ModeSequential} {
+		eng := NewEngine(g, func(v graph.ID) Protocol {
+			if v == 0 {
+				return &holdProtocol{until: 7}
+			}
+			return &oscillatingProtocol{settle: 7}
+		})
+		eng.Mode = mode
+		res, err := eng.Run(20)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if res.Rounds != 7 {
+			t.Errorf("mode %v: mixed network stopped at round %d, want 7 (done counter drifted through the flips)", mode, res.Rounds)
+		}
+	}
+}
+
+// holdProtocol is not Done until a fixed round, sending nothing.
+type holdProtocol struct {
+	rounds int
+	until  int
+}
+
+func (p *holdProtocol) Init(ctx *Context)                   {}
+func (p *holdProtocol) Round(ctx *Context, inbox []Message) { p.rounds++ }
+func (p *holdProtocol) Done() bool                          { return p.rounds >= p.until }
+func (p *holdProtocol) Output() any                         { return p.rounds }
+
+// TestSendToNonNodeAllModes: the Send panic must be recovered and
+// surfaced as an error from Run under every schedule — in pooled mode a
+// panicking worker previously left the WaitGroup hanging.
+func TestSendToNonNodeAllModes(t *testing.T) {
+	g := gen.Path(50)
+	for _, mode := range []ExecMode{ModePooled, ModePerNode, ModeSequential} {
+		eng := NewEngine(g, func(v graph.ID) Protocol {
+			return &badSenderProtocol{}
+		})
+		eng.Mode = mode
+		_, err := eng.Run(10)
+		if err == nil {
+			t.Fatalf("mode %v: send to a non-node did not error", mode)
+		}
+		if !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "not a node of the network") {
+			t.Errorf("mode %v: error %q does not describe the panic", mode, err)
+		}
+	}
+}
+
+// TestCoversComponentBoundary is the regression table for the radius-0
+// boundary bug: a radius-0 flood on an isolated node covers its
+// component (maxDist == Radius == 0), and a ball that fills its
+// component on exactly the last hop does too.
+func TestCoversComponentBoundary(t *testing.T) {
+	isolated := graph.New()
+	isolated.AddNode(1)
+	edge := graph.New()
+	edge.AddEdge(1, 2)
+	path3 := graph.New()
+	path3.AddEdge(1, 2)
+	path3.AddEdge(2, 3)
+
+	cases := []struct {
+		name   string
+		g      *graph.Graph
+		radius int
+		want   map[graph.ID]bool
+	}{
+		{"isolated-r0", isolated, 0, map[graph.ID]bool{1: true}},
+		{"isolated-r1", isolated, 1, map[graph.ID]bool{1: true}},
+		{"edge-r0", edge, 0, map[graph.ID]bool{1: false, 2: false}},
+		{"edge-r1", edge, 1, map[graph.ID]bool{1: true, 2: true}},
+		{"edge-r2", edge, 2, map[graph.ID]bool{1: true, 2: true}},
+		// Radius 1 on a 3-path: the middle node sees the whole component
+		// on its last hop (covered); the endpoints' balls are clipped.
+		{"path3-r1", path3, 1, map[graph.ID]bool{1: false, 2: true, 3: false}},
+		{"path3-r2", path3, 2, map[graph.ID]bool{1: true, 2: true, 3: true}},
+	}
+	for _, tc := range cases {
+		know, _, err := CollectBalls(tc.g, tc.radius, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for v, want := range tc.want {
+			if got := know[v].CoversComponent(); got != want {
+				t.Errorf("%s: node %d CoversComponent() = %v, want %v", tc.name, v, got, want)
+			}
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -211,6 +212,14 @@ type Result struct {
 	// LOCAL allows unbounded messages — this measures what the protocols
 	// actually use.
 	Volume int
+
+	// Fault accounting (all zero when Engine.Faults is nil): messages
+	// dropped / duplicated / dead-lettered by the schedule, and the total
+	// synchronizer stall (sum over rounds of the max link delay).
+	Dropped     int
+	Duplicated  int
+	DeadLetters int
+	Stall       int
 }
 
 // Engine executes a Protocol instance on every node of a graph.
@@ -227,12 +236,33 @@ type Engine struct {
 	// RoundObserver). Nil — the default — is the zero-cost fast path:
 	// no callback, no inbox high-water scan, no extra allocation.
 	Observer RoundObserver
+	// Faults, when non-nil, attaches a deterministic fault-injection
+	// schedule (see Faults). Nil — the default — keeps the unperturbed
+	// delivery loop with no per-message decision.
+	Faults *Faults
 
 	// done[i] mirrors progs[i].Done() after the node's latest step;
 	// doneCount is the number of true entries. Maintained inside the
 	// round loop so termination needs no O(n) rescan per round.
 	done      []bool
 	doneCount atomic.Int64
+
+	// ran guards against a second Run: progs hold terminal protocol
+	// state after a run, so rerunning them would report a bogus 0-round
+	// success.
+	ran bool
+
+	// crashAt[i] is the step at which node i fail-stops (-1 = never);
+	// dead[i] flips once that step is reached. Both nil without a crash
+	// schedule.
+	crashAt []int
+	dead    []bool
+
+	// failMu/failErr capture the first node-program panic of the run;
+	// worker goroutines recover so a panicking node cannot deadlock the
+	// pool, and Run surfaces the failure as an error.
+	failMu  sync.Mutex
+	failErr error
 }
 
 // NewEngine creates an engine running factory(v) on every node v of g.
@@ -257,8 +287,17 @@ func NewEngineIndexed(ix *graph.Indexed, factory func(v graph.ID) Protocol) *Eng
 
 // Run executes the protocol until every node is Done, or fails after
 // maxRounds rounds. It returns the number of rounds executed and each
-// node's output.
+// node's output. An engine runs at most once: the protocols hold
+// terminal state afterwards, so a second Run returns an error instead of
+// a bogus 0-round success.
 func (e *Engine) Run(maxRounds int) (*Result, error) {
+	if e.ran {
+		return nil, fmt.Errorf("dist: Engine.Run called twice; protocol state is terminal after a run — build a new engine")
+	}
+	e.ran = true
+	if err := e.initFaults(); err != nil {
+		return nil, err
+	}
 	n := e.ix.NumNodes()
 	ctxs := make([]Context, n)
 	for i := range ctxs {
@@ -283,21 +322,32 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 	}
 
 	res := &Result{}
-	e.step(obs, 0, func(i int) {
+	crashed := e.markCrashes(0)
+	shards := e.step(obs, 0, func(i int) {
 		e.progs[i].Init(&ctxs[i])
 	})
-	e.collect(obs, 0, ctxs, next, res)
+	if err := e.failure(); err != nil {
+		return nil, err
+	}
+	e.collect(obs, 0, shards, ctxs, next, res, crashed)
 
 	for e.doneCount.Load() != int64(n) {
+		if v, r, blocked := e.crashBlocked(); blocked {
+			return nil, fmt.Errorf("dist: node %d crashed at round %d and cannot finish; all surviving nodes are done", v, r)
+		}
 		if res.Rounds >= maxRounds {
 			return nil, fmt.Errorf("protocol did not terminate within %d rounds", maxRounds)
 		}
 		res.Rounds++
 		cur, next = next, cur
-		e.step(obs, res.Rounds, func(i int) {
+		crashed = e.markCrashes(res.Rounds)
+		shards = e.step(obs, res.Rounds, func(i int) {
 			e.progs[i].Round(&ctxs[i], cur[i])
 		})
-		e.collect(obs, res.Rounds, ctxs, next, res)
+		if err := e.failure(); err != nil {
+			return nil, err
+		}
+		e.collect(obs, res.Rounds, shards, ctxs, next, res, crashed)
 	}
 
 	res.Outputs = make(map[graph.ID]any, n)
@@ -311,13 +361,16 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 }
 
 // step runs fn for every node index according to the engine mode,
-// tracking per-node Done transitions so the run loop never rescans.
-// Shards are contiguous index ranges, so the work partition is
-// deterministic; node programs touch only their own state and context, so
-// any schedule is race-free and equivalent. The observer's round/shard
-// hooks bracket the work (per-node mode reports zero shards: with one
-// goroutine per node there is no shard boundary worth timing).
-func (e *Engine) step(obs RoundObserver, round int, fn func(i int)) {
+// tracking per-node Done transitions so the run loop never rescans, and
+// returns the worker-shard count it actually used (1 sequential, 0
+// per-node) so RoundEnd reports the same figure RoundStart announced
+// even if GOMAXPROCS changes mid-run. Shards are contiguous index
+// ranges, so the work partition is deterministic; node programs touch
+// only their own state and context, so any schedule is race-free and
+// equivalent. The observer's round/shard hooks bracket the work
+// (per-node mode reports zero shards: with one goroutine per node there
+// is no shard boundary worth timing).
+func (e *Engine) step(obs RoundObserver, round int, fn func(i int)) int {
 	n := len(e.progs)
 	mode := e.Mode
 	if e.Sequential {
@@ -329,6 +382,7 @@ func (e *Engine) step(obs RoundObserver, round int, fn func(i int)) {
 			obs.RoundStart(round, 1)
 		}
 		e.runShard(obs, 0, 0, n, fn)
+		return 1
 	case ModePerNode:
 		if obs != nil {
 			obs.RoundStart(round, 0)
@@ -338,11 +392,13 @@ func (e *Engine) step(obs RoundObserver, round int, fn func(i int)) {
 		for i := 0; i < n; i++ {
 			go func(i int) {
 				defer wg.Done()
-				fn(i)
-				e.noteDone(i)
+				if err := e.runRange(i, i+1, fn); err != nil {
+					e.recordFailure(err)
+				}
 			}(i)
 		}
 		wg.Wait()
+		return 0
 	default: // ModePooled
 		workers := runtime.GOMAXPROCS(0)
 		if workers > n {
@@ -353,7 +409,7 @@ func (e *Engine) step(obs RoundObserver, round int, fn func(i int)) {
 				obs.RoundStart(round, 1)
 			}
 			e.runShard(obs, 0, 0, n, fn)
-			return
+			return 1
 		}
 		chunk := (n + workers - 1) / workers
 		shards := (n + chunk - 1) / chunk
@@ -375,19 +431,46 @@ func (e *Engine) step(obs RoundObserver, round int, fn func(i int)) {
 			shard++
 		}
 		wg.Wait()
+		return shards
 	}
 }
 
 // runShard executes one contiguous index range on the calling goroutine,
-// folding the per-node Done checks into the shard so they run in parallel
-// with the round work, and publishing the shard's done-delta with a
-// single atomic add.
+// bracketing it with the observer's shard hooks and capturing any
+// node-program failure.
 func (e *Engine) runShard(obs RoundObserver, shard, lo, hi int, fn func(i int)) {
 	if obs != nil {
 		obs.ShardStart(shard)
 	}
+	if err := e.runRange(lo, hi, fn); err != nil {
+		e.recordFailure(err)
+	}
+	if obs != nil {
+		obs.ShardEnd(shard)
+	}
+}
+
+// runRange executes fn for each node index in [lo, hi), skipping crashed
+// nodes, folding the per-node Done checks into the loop so they run in
+// parallel with the round work, and publishing the range's done-delta
+// with a single atomic add (flushed even on panic, so partial progress
+// stays counted). A panicking node program is recovered into an error:
+// the worker must return normally or the pool's WaitGroup would deadlock
+// the run.
+func (e *Engine) runRange(lo, hi int, fn func(i int)) (err error) {
 	delta := 0
+	defer func() {
+		if delta != 0 {
+			e.doneCount.Add(int64(delta))
+		}
+		if r := recover(); r != nil {
+			err = fmt.Errorf("dist: node program panicked: %v", r)
+		}
+	}()
 	for i := lo; i < hi; i++ {
+		if e.dead != nil && e.dead[i] {
+			continue
+		}
 		fn(i)
 		if d := e.progs[i].Done(); d != e.done[i] {
 			e.done[i] = d
@@ -398,25 +481,24 @@ func (e *Engine) runShard(obs RoundObserver, shard, lo, hi int, fn func(i int)) 
 			}
 		}
 	}
-	if delta != 0 {
-		e.doneCount.Add(int64(delta))
-	}
-	if obs != nil {
-		obs.ShardEnd(shard)
-	}
+	return nil
 }
 
-// noteDone is the per-node done-tracking used by the per-node schedule,
-// where no shard exists to batch the atomic update.
-func (e *Engine) noteDone(i int) {
-	if d := e.progs[i].Done(); d != e.done[i] {
-		e.done[i] = d
-		if d {
-			e.doneCount.Add(1)
-		} else {
-			e.doneCount.Add(-1)
-		}
+// recordFailure keeps the first node-program failure of the run; Run
+// checks for one after every step.
+func (e *Engine) recordFailure(err error) {
+	e.failMu.Lock()
+	if e.failErr == nil {
+		e.failErr = err
 	}
+	e.failMu.Unlock()
+}
+
+// failure returns the captured node-program failure, if any.
+func (e *Engine) failure() error {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.failErr
 }
 
 // collect moves queued messages into next-round inboxes. Walking senders
@@ -425,29 +507,93 @@ func (e *Engine) noteDone(i int) {
 // engine produced with a global stable sort — without sorting. Inbox
 // slices are truncated and refilled in place, so steady-state rounds
 // allocate nothing. With an observer attached it also reports the
-// round's message/volume deltas and the inbox high-water mark.
-func (e *Engine) collect(obs RoundObserver, round int, ctxs []Context, next [][]Message, res *Result) {
+// round's message/volume deltas and the inbox high-water mark; shards is
+// the count step actually used, so RoundStart and RoundEnd always agree.
+//
+// With a fault schedule attached, delivery runs on this single driving
+// goroutine in the same (sender, queue position) order, so each
+// message's fault coordinates — and hence the whole schedule — are
+// identical under every ExecMode. Without one, the loop is the original
+// branch-free path.
+func (e *Engine) collect(obs RoundObserver, round, shards int, ctxs []Context, next [][]Message, res *Result, crashed []graph.ID) {
 	for i := range next {
 		next[i] = next[i][:0]
 	}
 	msgs, vol := 0, 0
-	for i := range ctxs {
-		c := &ctxs[i]
-		for k, msg := range c.outbox {
-			to := c.targets[k]
-			next[to] = append(next[to], msg)
-			msgs++
-			if s, ok := msg.Payload.(Sizer); ok {
-				vol += s.PayloadSize()
-			} else {
-				vol++
+	var fs FaultStats
+	faulty := e.Faults.active()
+	if !faulty {
+		for i := range ctxs {
+			c := &ctxs[i]
+			for k, msg := range c.outbox {
+				to := c.targets[k]
+				next[to] = append(next[to], msg)
+				msgs++
+				if s, ok := msg.Payload.(Sizer); ok {
+					vol += s.PayloadSize()
+				} else {
+					vol++
+				}
 			}
+			c.outbox = c.outbox[:0]
+			c.targets = c.targets[:0]
 		}
-		c.outbox = c.outbox[:0]
-		c.targets = c.targets[:0]
+	} else {
+		fs.Round = round
+		fs.Crashed = crashed
+		plan := e.Faults.Plan
+		perturb := plan.Perturbs()
+		for i := range ctxs {
+			c := &ctxs[i]
+			for k, msg := range c.outbox {
+				to := c.targets[k]
+				// Messages queued in step round are delivered at step
+				// round+1; a receiver that crashes at or before that step
+				// never reads them.
+				if e.crashAt != nil && e.crashAt[to] >= 0 && e.crashAt[to] <= round+1 {
+					fs.DeadLetters++
+					continue
+				}
+				var act fault.Action
+				if perturb {
+					act = plan.Decide(round, i, k)
+				}
+				if act.Drop {
+					fs.Dropped++
+					continue
+				}
+				if act.Delay > fs.Stall {
+					fs.Stall = act.Delay
+				}
+				next[to] = append(next[to], msg)
+				msgs++
+				sz := 1
+				if s, ok := msg.Payload.(Sizer); ok {
+					sz = s.PayloadSize()
+				}
+				vol += sz
+				if act.Dup {
+					fs.Duplicated++
+					next[to] = append(next[to], msg)
+					msgs++
+					vol += sz
+				}
+			}
+			c.outbox = c.outbox[:0]
+			c.targets = c.targets[:0]
+		}
 	}
 	res.Messages += msgs
 	res.Volume += vol
+	if faulty && fs.any() {
+		res.Dropped += fs.Dropped
+		res.Duplicated += fs.Duplicated
+		res.DeadLetters += fs.DeadLetters
+		res.Stall += fs.Stall
+		if fo, ok := obs.(FaultObserver); ok {
+			fo.FaultRound(fs)
+		}
+	}
 	if obs != nil {
 		maxInbox := 0
 		for i := range next {
@@ -458,36 +604,11 @@ func (e *Engine) collect(obs RoundObserver, round int, ctxs []Context, next [][]
 		obs.RoundEnd(RoundStats{
 			Round:    round,
 			Nodes:    len(ctxs),
-			Shards:   e.shardsFor(len(ctxs)),
+			Shards:   shards,
 			Messages: msgs,
 			Volume:   vol,
 			Done:     int(e.doneCount.Load()),
 			MaxInbox: maxInbox,
 		})
-	}
-}
-
-// shardsFor reports the worker-shard count the current mode uses for an
-// n-node round (matching the RoundStart argument).
-func (e *Engine) shardsFor(n int) int {
-	mode := e.Mode
-	if e.Sequential {
-		mode = ModeSequential
-	}
-	switch mode {
-	case ModeSequential:
-		return 1
-	case ModePerNode:
-		return 0
-	default:
-		workers := runtime.GOMAXPROCS(0)
-		if workers > n {
-			workers = n
-		}
-		if workers <= 1 {
-			return 1
-		}
-		chunk := (n + workers - 1) / workers
-		return (n + chunk - 1) / chunk
 	}
 }

@@ -1,0 +1,179 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+)
+
+// Faults attaches a deterministic fault-injection schedule to an Engine:
+// a message-perturbation plan (drop / duplicate / delay, decided per
+// message by fault.Plan) plus a crash schedule mapping node IDs to the
+// round at which they fail-stop. A nil *Faults on the engine keeps the
+// existing zero-cost delivery path; a non-nil plan is consulted once per
+// queued message at the round boundary, on the single goroutine that
+// drives delivery, so the schedule is identical under every ExecMode.
+//
+// Semantics in the round-synchronous LOCAL model:
+//
+//   - Delay is absorbed: a synchronous round is only complete once every
+//     message of the round has arrived, so a link delay of d rounds does
+//     not change what is delivered or when — it lengthens the round. The
+//     engine charges it as synchronizer stall time (per round, the max
+//     delay over the round's messages) in Result.Stall.
+//   - Duplication delivers one extra copy at the adjacent queue position.
+//     Well-behaved protocols (flooding dedup, correction-phase seen-sets)
+//     absorb it; outputs must stay byte-identical.
+//   - Drop removes the message entirely. Protocols built for the
+//     failure-free model are expected to corrupt or diverge — loudly
+//     (cross-checks downstream turn this into diagnosable errors) — and
+//     CollectBallsRetrans exists to tolerate it.
+//   - A node crashed at round r executes steps 0..r-1 (Init is step 0)
+//     and nothing afterwards; messages queued to it from step r-1 onwards
+//     (i.e. delivered at step r or later) become dead letters. If the
+//     run can no longer terminate because every live node is Done but a
+//     crashed node is not, Run fails with an error naming the node.
+type Faults struct {
+	// Plan decides per-message drop/dup/delay actions.
+	Plan fault.Plan
+	// Crash maps a node ID to the first step it does NOT execute
+	// (crash at round 0 means the node never even runs Init).
+	Crash map[graph.ID]int
+}
+
+// active reports whether the schedule can perturb anything.
+func (f *Faults) active() bool {
+	return f != nil && (f.Plan.Perturbs() || len(f.Crash) > 0)
+}
+
+// ParseFaults parses a fault spec string (see fault.Parse for the
+// grammar) into a Faults plan keyed by seed. An empty spec returns nil —
+// the engine's fast path.
+func ParseFaults(spec string, seed uint64) (*Faults, error) {
+	plan, crash, err := fault.Parse(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	f := &Faults{Plan: plan}
+	if len(crash) > 0 {
+		f.Crash = make(map[graph.ID]int, len(crash))
+		for id, r := range crash {
+			f.Crash[graph.ID(id)] = r
+		}
+	}
+	if !f.active() {
+		return nil, nil
+	}
+	return f, nil
+}
+
+// FaultStats summarizes the fault events of one round boundary. A stats
+// value is only reported (via FaultObserver) when at least one field is
+// non-zero.
+type FaultStats struct {
+	// Round matches RoundStats.Round: 0 for the Init step, then the
+	// 1-based communication round whose outboxes were delivered.
+	Round int
+	// Dropped / Duplicated count messages removed / doubled this round.
+	Dropped    int
+	Duplicated int
+	// DeadLetters counts messages addressed to already-crashed nodes.
+	DeadLetters int
+	// Stall is the synchronizer stall charged this round: the maximum
+	// link delay over the round's delivered messages.
+	Stall int
+	// Crashed lists the nodes that crashed at this step, in ID order.
+	Crashed []graph.ID
+}
+
+func (fs *FaultStats) any() bool {
+	return fs.Dropped != 0 || fs.Duplicated != 0 || fs.DeadLetters != 0 ||
+		fs.Stall != 0 || len(fs.Crashed) != 0
+}
+
+// FaultObserver is an optional extension of RoundObserver: observers
+// that also implement it receive a FaultRound callback — from the
+// goroutine driving Run, just before the matching RoundEnd — for every
+// round in which the fault schedule did something. Rounds without fault
+// events produce no callback, so fault-free traces are unchanged.
+type FaultObserver interface {
+	FaultRound(stats FaultStats)
+}
+
+// initFaults validates the crash schedule against the snapshot and
+// builds the per-index crash tables. Called by Run before the Init step.
+func (e *Engine) initFaults() error {
+	e.crashAt = nil
+	e.dead = nil
+	f := e.Faults
+	if !f.active() || len(f.Crash) == 0 {
+		return nil
+	}
+	n := e.ix.NumNodes()
+	e.crashAt = make([]int, n)
+	for i := range e.crashAt {
+		e.crashAt[i] = -1 // never crashes
+	}
+	e.dead = make([]bool, n)
+	for v, r := range f.Crash {
+		i, ok := e.ix.IndexOf(v)
+		if !ok {
+			return fmt.Errorf("dist: fault plan crashes node %d, which is not a node of the network", v)
+		}
+		e.crashAt[i] = r
+	}
+	return nil
+}
+
+// markCrashes flips nodes whose crash round is step into the dead set
+// and returns them in ID order (node index order = ID order). A dead
+// node that was not Done counts against termination; crashBlocked turns
+// that into a diagnosable error instead of a maxRounds timeout.
+func (e *Engine) markCrashes(step int) []graph.ID {
+	if e.crashAt == nil {
+		return nil
+	}
+	var crashed []graph.ID
+	for i, r := range e.crashAt {
+		if r == step {
+			e.dead[i] = true
+			crashed = append(crashed, e.ix.IDOf(i))
+		}
+	}
+	sortIDs(crashed)
+	return crashed
+}
+
+// crashBlocked reports the first crashed-but-not-Done node when every
+// live node is Done, i.e. when the run can never terminate.
+func (e *Engine) crashBlocked() (graph.ID, int, bool) {
+	if e.dead == nil {
+		return 0, 0, false
+	}
+	deadNotDone := 0
+	first := -1
+	for i := range e.dead {
+		if e.dead[i] && !e.done[i] {
+			deadNotDone++
+			if first < 0 {
+				first = i
+			}
+		}
+	}
+	if deadNotDone == 0 {
+		return 0, 0, false
+	}
+	if int(e.doneCount.Load())+deadNotDone == len(e.progs) {
+		return e.ix.IDOf(first), e.crashAt[first], true
+	}
+	return 0, 0, false
+}
+
+// sortIDs sorts a crash list into ID order. markCrashes already emits in
+// index order, which equals ID order for snapshots built from sorted
+// node lists; this keeps the reported order canonical regardless.
+func sortIDs(ids []graph.ID) {
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+}

@@ -77,12 +77,32 @@ func (k *Knowledge) InfoOf(v graph.ID) (NodeInfo, bool) {
 }
 
 // CoversComponent reports whether the knowledge provably covers the
-// center's entire connected component: the flood quiesced strictly before
-// the radius was exhausted, so no known node can have an unknown
-// neighbor. False does not imply the component extends past the ball,
-// only that the flood cannot tell.
+// center's entire connected component: the known set is closed under
+// adjacency (every known node's full adjacency list is known), which
+// for a set containing the center means it IS the component. The
+// closure criterion handles the boundary cases a quiescence test
+// ("maxDist < Radius") gets wrong — a radius-0 flood on an isolated
+// node has maxDist == Radius == 0 yet covers its component, and a ball
+// that fills its component on exactly the last hop does too — and,
+// unlike quiescence, it stays sound when the flood ran under message
+// loss: a drop-truncated ball also quiesces early, but any strict
+// subset of a connected component has a member whose adjacency names
+// an absent node, so the closure scan reports it uncovered instead of
+// letting corrupted knowledge masquerade as complete. Records are
+// scanned frontier-first (reverse discovery order): a clipped ball's
+// unknown neighbors hang off the last hop, so the common negative
+// answer stays near-O(1). False means only that the ball was clipped,
+// never that coverage is uncertain.
 func (k *Knowledge) CoversComponent() bool {
-	return k.maxDist < k.Radius
+	pos := k.ensurePos()
+	for i := len(k.recs) - 1; i >= 0; i-- {
+		for _, u := range k.recs[i].Adj {
+			if _, ok := pos[u]; !ok {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // BallGraph returns the subgraph induced by the known nodes at distance at
@@ -299,6 +319,16 @@ func CollectBallsIndexed(ix *graph.Indexed, radius int, notes map[graph.ID]any) 
 // attached to the flooding engine (nil behaves exactly like
 // CollectBallsIndexed).
 func CollectBallsIndexedObserved(ix *graph.Indexed, radius int, notes map[graph.ID]any, o RoundObserver) (map[graph.ID]*Knowledge, *Result, error) {
+	return CollectBallsIndexedFaulty(ix, radius, notes, o, nil)
+}
+
+// CollectBallsIndexedFaulty is CollectBallsIndexedObserved with a fault
+// schedule attached to the flooding engine. The protocol itself has no
+// retransmission: duplicates are absorbed by its dedup and delays by the
+// round-synchronous model, but drops silently shrink the collected balls
+// and crashes surface as engine errors — callers that must survive drops
+// use CollectBallsRetrans instead.
+func CollectBallsIndexedFaulty(ix *graph.Indexed, radius int, notes map[graph.ID]any, o RoundObserver, f *Faults) (map[graph.ID]*Knowledge, *Result, error) {
 	n := ix.NumNodes()
 	avgDeg := 0
 	if n > 0 {
@@ -310,6 +340,7 @@ func CollectBallsIndexedObserved(ix *graph.Indexed, radius int, notes map[graph.
 		return newFloodProtocol(v, i, n, ix.NeighborIDs(i), notes[v], radius, hint)
 	})
 	eng.Observer = o
+	eng.Faults = f
 	res, err := eng.Run(radius + 1)
 	if err != nil {
 		return nil, nil, fmt.Errorf("flooding: %w", err)

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -284,19 +285,23 @@ func TestSendTargetClasses(t *testing.T) {
 	}
 }
 
-// TestSendUnknownTargetPanics pins the Send error contract.
-func TestSendUnknownTargetPanics(t *testing.T) {
+// TestSendUnknownTarget pins the Send error contract: the node-program
+// panic is recovered by the engine and surfaced as an error from Run —
+// under every ExecMode, without deadlocking the worker pool (see also
+// adversarial_test.go for the full mode matrix).
+func TestSendUnknownTarget(t *testing.T) {
 	g := gen.Path(3)
 	eng := NewEngine(g, func(v graph.ID) Protocol {
 		return &badSenderProtocol{}
 	})
 	eng.Mode = ModeSequential
-	defer func() {
-		if recover() == nil {
-			t.Error("send to a non-node did not panic")
-		}
-	}()
-	_, _ = eng.Run(10)
+	_, err := eng.Run(10)
+	if err == nil {
+		t.Fatal("send to a non-node did not surface an error from Run")
+	}
+	if !strings.Contains(err.Error(), "not a node of the network") {
+		t.Errorf("error %q does not name the bad target", err)
+	}
 }
 
 type badSenderProtocol struct{ done bool }

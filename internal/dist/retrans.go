@@ -1,0 +1,252 @@
+package dist
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/graph"
+)
+
+// This file implements the retransmitting variant of full-information
+// flooding: the graceful-degradation answer to message drops. The plain
+// floodProtocol is round-counted — it trusts that every broadcast
+// arrives, so a single dropped batch silently truncates a ball. The
+// retransmitting protocol instead tracks, per neighbor, the set of
+// records it owes that neighbor and keeps resending them every round
+// until the neighbor acknowledges each record; a node is Done exactly
+// when it owes nothing. Records carry their hop distance and are
+// accepted Bellman-Ford style (keep the smaller), so duplicated and
+// reordered deliveries are absorbed, and the final Knowledge is
+// identical to the fault-free flood's — the price of drops is paid in
+// extra rounds and messages, which CollectBallsRetrans reports.
+
+// retransRec is one disseminated record: a node's info plus the hop
+// distance the receiver would know it at.
+type retransRec struct {
+	Info NodeInfo
+	Hops int32
+}
+
+// retransBatch is the data message: every record the sender currently
+// owes the receiver. Its payload size is its record count, like
+// infoBatch.
+type retransBatch struct {
+	Recs []retransRec
+}
+
+// PayloadSize implements Sizer.
+func (b *retransBatch) PayloadSize() int { return len(b.Recs) }
+
+// retransAck acknowledges the records of one received batch: Nodes[i]
+// is known to the acking node at Hops[i]. Parallel slices rather than a
+// map so the payload has a deterministic order.
+type retransAck struct {
+	Nodes []graph.ID
+	Hops  []int32
+}
+
+// PayloadSize implements Sizer.
+func (a *retransAck) PayloadSize() int { return len(a.Nodes) }
+
+// retransQueue is the per-neighbor obligation set. order records every
+// node ID ever enqueued, in first-enqueue order; pending marks which of
+// them are currently owed. Retransmission walks order, so the batch
+// layout is a deterministic function of the protocol history alone.
+type retransQueue struct {
+	order   []graph.ID
+	pending map[graph.ID]bool
+	count   int
+}
+
+type retransProtocol struct {
+	v      graph.ID
+	radius int
+	nbrs   []graph.ID
+	nbrPos map[graph.ID]int
+
+	best map[graph.ID]int32
+	info map[graph.ID]NodeInfo
+
+	queues       []retransQueue
+	pendingCount int
+}
+
+func newRetransProtocol(v graph.ID, adj []graph.ID, note any, radius int) *retransProtocol {
+	p := &retransProtocol{
+		v:      v,
+		radius: radius,
+		nbrs:   adj,
+		nbrPos: make(map[graph.ID]int, len(adj)),
+		best:   map[graph.ID]int32{v: 0},
+		info:   map[graph.ID]NodeInfo{v: {Node: v, Adj: adj, Note: note}},
+		queues: make([]retransQueue, len(adj)),
+	}
+	for i, u := range adj {
+		p.nbrPos[u] = i
+		p.queues[i].pending = make(map[graph.ID]bool)
+	}
+	return p
+}
+
+// enqueueExcept marks id as owed to every neighbor but the one the
+// record just arrived from: that neighbor offered it, so it already
+// knows id at a hop count at most ours.
+func (p *retransProtocol) enqueueExcept(from graph.ID, id graph.ID) {
+	for i := range p.queues {
+		if p.nbrs[i] == from {
+			continue
+		}
+		q := &p.queues[i]
+		if !q.pending[id] {
+			if _, seen := q.pending[id]; !seen {
+				q.order = append(q.order, id)
+			}
+			q.pending[id] = true
+			q.count++
+			p.pendingCount++
+		}
+	}
+}
+
+func (p *retransProtocol) Init(ctx *Context) {
+	if p.radius > 0 {
+		for i := range p.queues {
+			q := &p.queues[i]
+			q.order = append(q.order, p.v)
+			q.pending[p.v] = true
+			q.count++
+			p.pendingCount++
+		}
+	}
+	p.retransmit(ctx)
+}
+
+func (p *retransProtocol) Round(ctx *Context, inbox []Message) {
+	for _, m := range inbox {
+		switch pl := m.Payload.(type) {
+		case *retransBatch:
+			ack := &retransAck{
+				Nodes: make([]graph.ID, 0, len(pl.Recs)),
+				Hops:  make([]int32, 0, len(pl.Recs)),
+			}
+			for _, rec := range pl.Recs {
+				id := rec.Info.Node
+				if cur, known := p.best[id]; !known || rec.Hops < cur {
+					p.best[id] = rec.Hops
+					p.info[id] = rec.Info
+					if int(rec.Hops) < p.radius {
+						p.enqueueExcept(m.From, id)
+					}
+				}
+				// Always ack, even duplicates: the previous ack may
+				// itself have been dropped.
+				ack.Nodes = append(ack.Nodes, id)
+				ack.Hops = append(ack.Hops, p.best[id])
+			}
+			ctx.Send(m.From, ack)
+		case *retransAck:
+			q := &p.queues[p.nbrPos[m.From]]
+			for i, id := range pl.Nodes {
+				// The obligation is met once the neighbor knows id at
+				// least as well as we could tell it. A stale ack (we
+				// have since found a shorter path) keeps the record
+				// pending.
+				if q.pending[id] && pl.Hops[i] <= p.best[id]+1 {
+					q.pending[id] = false
+					q.count--
+					p.pendingCount--
+				}
+			}
+		}
+	}
+	p.retransmit(ctx)
+}
+
+// retransmit resends every currently-owed record to each neighbor. The
+// protocol retries every round rather than waiting out the two-round ack
+// latency: the redundancy costs messages, never correctness, and keeps
+// the worst-case round overhead at the ack round-trip.
+func (p *retransProtocol) retransmit(ctx *Context) {
+	for i, u := range p.nbrs {
+		q := &p.queues[i]
+		if q.count == 0 {
+			continue
+		}
+		batch := &retransBatch{Recs: make([]retransRec, 0, q.count)}
+		for _, id := range q.order {
+			if q.pending[id] {
+				batch.Recs = append(batch.Recs, retransRec{Info: p.info[id], Hops: p.best[id] + 1})
+			}
+		}
+		ctx.Send(u, batch)
+	}
+}
+
+// Done flips back to false when a new record arrives and creates fresh
+// obligations; the run ends only when every node simultaneously owes
+// nothing.
+func (p *retransProtocol) Done() bool { return p.pendingCount == 0 }
+
+// Output rebuilds a Knowledge equivalent to the fault-free flood's: the
+// record slice sorted by (hops, id) restores the nondecreasing-distance
+// invariant FilteredBallGraph relies on, with the center first.
+func (p *retransProtocol) Output() any {
+	ids := make([]graph.ID, 0, len(p.best))
+	for id := range p.best {
+		ids = append(ids, id)
+	}
+	slices.SortFunc(ids, func(a, b graph.ID) int {
+		da, db := p.best[a], p.best[b]
+		if da != db {
+			return int(da - db)
+		}
+		if a < b {
+			return -1
+		}
+		if a > b {
+			return 1
+		}
+		return 0
+	})
+	k := &Knowledge{
+		Center: p.v,
+		Radius: p.radius,
+		recs:   make([]NodeInfo, 0, len(ids)),
+		dist:   make([]int32, 0, len(ids)),
+	}
+	for _, id := range ids {
+		k.recs = append(k.recs, p.info[id])
+		k.dist = append(k.dist, p.best[id])
+		if int(p.best[id]) > k.maxDist {
+			k.maxDist = int(p.best[id])
+		}
+	}
+	return k
+}
+
+// CollectBallsRetrans runs the retransmitting flood for at most budget
+// rounds on g under the given fault schedule (nil = fault-free) and
+// returns each node's Knowledge plus the engine result; Result.Rounds
+// tells the caller how many rounds tolerating the faults cost (the
+// fault-free protocol pays radius + 2: the last-hop records still need
+// their ack round-trip). A budget too small for the drop rate surfaces
+// as the engine's did-not-terminate error, not as silently truncated
+// balls.
+func CollectBallsRetrans(g *graph.Graph, radius, budget int, notes map[graph.ID]any, f *Faults, o RoundObserver) (map[graph.ID]*Knowledge, *Result, error) {
+	ix := graph.NewIndexed(g)
+	eng := NewEngineIndexed(ix, func(v graph.ID) Protocol {
+		i, _ := ix.IndexOf(v)
+		return newRetransProtocol(v, ix.NeighborIDs(i), notes[v], radius)
+	})
+	eng.Observer = o
+	eng.Faults = f
+	res, err := eng.Run(budget)
+	if err != nil {
+		return nil, nil, fmt.Errorf("retransmitting flood: %w", err)
+	}
+	out := make(map[graph.ID]*Knowledge, len(res.Outputs))
+	for v, o := range res.Outputs {
+		out[v] = o.(*Knowledge)
+	}
+	return out, res, nil
+}

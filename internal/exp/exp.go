@@ -1,5 +1,5 @@
 // Package exp is the experiment harness: one function per experiment in
-// DESIGN.md's per-experiment index (E1–E15). Each returns a printable
+// DESIGN.md's per-experiment index (E1–E21). Each returns a printable
 // table; cmd/experiments runs them all and regenerates the data recorded
 // in EXPERIMENTS.md, and bench_test.go exposes one benchmark per table.
 package exp
@@ -80,6 +80,7 @@ func All(w io.Writer, quick bool) error {
 		E13LowerBound, E14Baselines, E15LocalViewCoherence,
 		E16BeyondChordal, E17MessageComplexity,
 		E18RoundTrace, E19PeelTrace,
+		E20FaultMatrix, E21RetransFlood,
 	}
 	for _, run := range runs {
 		tbl, err := run(quick)

@@ -23,12 +23,19 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/graph"
 )
 
 // SchemaVersion is the value of every trace event's "v" field. Bump it
 // when an existing field changes meaning; adding fields is backward
 // compatible and does not bump it.
-const SchemaVersion = 1
+//
+// v2 (fault injection): round events gain the optional fault fields
+// dropped/duplicated/dead_letters/stall/crashed, and wall_ns is omitted
+// when zero (it was previously always present). v1 readers that ignore
+// unknown fields and treat a missing wall_ns as 0 read v2 traces
+// correctly.
+const SchemaVersion = 2
 
 // Event kinds. One "round" event is emitted per engine step (the Init
 // step is round 0); "layer" events come from the peeling process via
@@ -62,10 +69,20 @@ type Event struct {
 	Done     int `json:"done"`
 	MaxInbox int `json:"max_inbox"`
 
+	// Fault fields (schema v2): the round's fault-injection activity, all
+	// omitted when the engine has no fault schedule or the schedule did
+	// nothing this round (see dist.FaultStats).
+	Dropped     int        `json:"dropped,omitempty"`
+	Duplicated  int        `json:"duplicated,omitempty"`
+	DeadLetters int        `json:"dead_letters,omitempty"`
+	Stall       int        `json:"stall,omitempty"`
+	Crashed     []graph.ID `json:"crashed,omitempty"`
+
 	// WallNS is the wall time of the step: node programs plus message
 	// delivery, RoundStart to RoundEnd. BusyNS[s] is worker shard s's
-	// busy time within the step (absent in per-node mode).
-	WallNS int64   `json:"wall_ns"`
+	// busy time within the step (absent in per-node mode). Both are
+	// zeroed (and wall_ns omitted) in canonical mode.
+	WallNS int64   `json:"wall_ns,omitempty"`
 	BusyNS []int64 `json:"busy_ns,omitempty"`
 
 	// Layer-event fields (see peel.LayerEvent).
@@ -105,11 +122,21 @@ type Collector struct {
 	run    int // ordinal of the current/next engine run
 	events []Event
 
+	// canonical strips the schedule/hardware fields (shards, wall and
+	// busy times) from events so traces of the same (graph, protocol,
+	// seed, plan) are byte-identical across ExecModes and machines.
+	canonical bool
+
 	// In-flight round state. Written by the engine's driving goroutine;
 	// shard slots are written by worker goroutines (distinct indices).
 	roundStart time.Time
 	shardStart []time.Time
 	shardBusy  []int64
+
+	// pendingFault holds the fault stats the engine reported for the
+	// round whose RoundEnd has not arrived yet (FaultRound fires first,
+	// on the same goroutine).
+	pendingFault *dist.FaultStats
 
 	// Optional registry kept updated with running totals.
 	reg *Registry
@@ -150,6 +177,18 @@ func (c *Collector) SetPhase(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.phase = name
+}
+
+// SetCanonical switches the Collector to canonical traces: shard counts
+// and wall/busy timings are zeroed in every subsequent event, leaving
+// only fields that are pure functions of (graph, protocol, seed, fault
+// plan). Two canonical traces of the same inputs are byte-identical
+// regardless of ExecMode, GOMAXPROCS, or hardware — this is what the
+// cross-mode determinism gate diffs.
+func (c *Collector) SetCanonical(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.canonical = on
 }
 
 // Err reports the first trace-write error, if any.
@@ -193,8 +232,19 @@ func (c *Collector) ShardEnd(shard int) {
 	c.shardBusy[shard] = c.now().Sub(c.shardStart[shard]).Nanoseconds()
 }
 
+// FaultRound implements dist.FaultObserver: the engine reports the
+// round's fault activity just before the matching RoundEnd, on the same
+// goroutine, so the stats are parked until the round event materializes.
+func (c *Collector) FaultRound(stats dist.FaultStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := stats
+	c.pendingFault = &s
+}
+
 // RoundEnd implements dist.RoundObserver: it materializes the round's
-// Event, appends it to the in-memory table, and streams it if tracing.
+// Event (folding in any fault stats the engine reported for this round),
+// appends it to the in-memory table, and streams it if tracing.
 func (c *Collector) RoundEnd(stats dist.RoundStats) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -214,6 +264,21 @@ func (c *Collector) RoundEnd(stats dist.RoundStats) {
 	}
 	if len(c.shardBusy) > 0 {
 		ev.BusyNS = append([]int64(nil), c.shardBusy...)
+	}
+	if f := c.pendingFault; f != nil && f.Round == stats.Round {
+		ev.Dropped = f.Dropped
+		ev.Duplicated = f.Duplicated
+		ev.DeadLetters = f.DeadLetters
+		ev.Stall = f.Stall
+		if len(f.Crashed) > 0 {
+			ev.Crashed = append([]graph.ID(nil), f.Crashed...)
+		}
+		c.pendingFault = nil
+	}
+	if c.canonical {
+		ev.Shards = 0
+		ev.WallNS = 0
+		ev.BusyNS = nil
 	}
 	if c.reg != nil {
 		c.reg.Counter("rounds_total").Add(1)
@@ -284,8 +349,10 @@ func (c *Collector) Phases() []PhaseSummary {
 	return out
 }
 
-// Compile-time check: Collector is a dist observer and phase setter.
+// Compile-time check: Collector is a dist observer, fault observer, and
+// phase setter.
 var (
 	_ dist.RoundObserver = (*Collector)(nil)
+	_ dist.FaultObserver = (*Collector)(nil)
 	_ dist.PhaseSetter   = (*Collector)(nil)
 )
