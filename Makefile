@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race fuzz-smoke ci bench-smoke bench bench-json trace-smoke chaos-smoke experiments
+.PHONY: all build test vet lint race fuzz-smoke ci bench-smoke bench bench-json bench-compare trace-smoke chaos-smoke experiments
 
 all: build test
 
@@ -21,10 +21,11 @@ lint:
 
 # Race-detector gate for the concurrent simulation core and everything
 # that drives it: the engine (dist), the algorithm core, peeling, the
-# experiment harness, the public API, and the graph substrate whose
-# Indexed snapshots are shared across the worker pool.
+# experiment harness, the public API, the graph substrate whose Indexed
+# snapshots are shared across the worker pool, and the CSR ball views
+# the parallel decide kernel reads concurrently.
 race:
-	$(GO) test -race ./internal/dist ./internal/core ./internal/peel ./internal/exp ./internal/graph .
+	$(GO) test -race ./internal/dist ./internal/core ./internal/peel ./internal/exp ./internal/graph ./internal/view .
 
 # Short fuzz runs of every Fuzz* target (10s each) so the fuzzers
 # execute somewhere instead of shipping as dormant seed-corpus tests.
@@ -38,7 +39,7 @@ fuzz-smoke:
 # The full CI gate: compile, vet, chordalvet, race-detect the concurrent
 # core, run the whole test suite, then the fault-injection smoke.
 # .github/workflows/ci.yml runs exactly this target.
-ci: build vet lint race test chaos-smoke
+ci: build vet lint race test chaos-smoke bench-compare
 
 # Quick-mode benchmark smoke: one iteration of the substrate and
 # experiment benchmarks, with allocation reporting. Finishes in minutes.
@@ -51,12 +52,20 @@ bench:
 
 # Machine-readable benchmark record: the engine/flood/prune/peel
 # benchmarks through `go test -json`, post-processed by cmd/benchjson
-# into the repo's perf-trajectory format. BENCH_4.json in the repo root
+# into the repo's perf-trajectory format. BENCH_5.json in the repo root
 # is a recorded run of exactly this target.
-BENCHJSON_OUT ?= BENCH_4.json
+BENCHJSON_OUT ?= BENCH_5.json
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineRound|BenchmarkFloodRadius|BenchmarkFloodN100k|BenchmarkFloodBallCollection|BenchmarkDistributedPruneN256|BenchmarkPeelingN4096' \
 		-benchmem -json . | $(GO) run ./cmd/benchjson -out $(BENCHJSON_OUT)
+
+# Per-benchmark ns/op, B/op, allocs/op deltas between the two most
+# recent recorded runs. >10% ns/op regressions print a warning to
+# stderr but never fail the target — this is a trend report, not a
+# gate; missing record files skip the comparison cleanly.
+BENCHJSON_BASE ?= BENCH_4.json
+bench-compare:
+	$(GO) run ./cmd/benchjson compare $(BENCHJSON_BASE) $(BENCHJSON_OUT)
 
 # Observability smoke: run the tracing workload in quick mode with CPU
 # and heap profiling, leaving the artifacts in ./trace-smoke/. CI uploads

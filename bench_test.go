@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -140,6 +141,23 @@ func BenchmarkDistributedPruneN256(b *testing.B) {
 		if _, err := core.DistributedPrune(g, 3); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDistributedPruneWorkers sweeps the decide kernel's worker
+// count on the N256 workload; workers=1 is the sequential schedule the
+// parallel shards must match bit-for-bit (see internal/core/decide.go).
+func BenchmarkDistributedPruneWorkers(b *testing.B) {
+	g := RandomChordalGraph(256, 4, 8)
+	for _, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			spec := core.PruneSpec{DiamThreshold: 9, Radius: 30, DecideWorkers: w}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DistributedPruneSpec(g, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// regressionWarnThreshold is the fractional ns/op increase above which
+// compare prints a (non-fatal) regression warning.
+const regressionWarnThreshold = 0.10
+
+// compareRow is one benchmark's old-vs-new delta. A nil side means the
+// benchmark exists in only one record.
+type compareRow struct {
+	Name     string
+	Old, New *Benchmark
+}
+
+// delta returns (new-old)/old for a metric pair; ok is false when the
+// base is zero (no relative change is defined).
+func delta(oldV, newV float64) (float64, bool) {
+	if oldV == 0 { //chordalvet:ignore floatcmp zero base is an exact parsed sentinel, not a computed float
+		return 0, false
+	}
+	return (newV - oldV) / oldV, true
+}
+
+// metric returns a benchmark's value for unit and whether the record
+// carries it (B/op and allocs/op are absent without -benchmem; ns/op is
+// always recorded).
+func metric(b *Benchmark, unit string) (float64, bool) {
+	if unit == "ns/op" {
+		return b.NsPerOp, true
+	}
+	v, ok := b.Metrics[unit]
+	return v, ok
+}
+
+// stripCPU removes the -N GOMAXPROCS suffix the testing package appends
+// to benchmark names, so records taken on machines with different core
+// counts still line up.
+func stripCPU(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
+}
+
+// compareRecords lines up two records by cpu-stripped benchmark name.
+func compareRecords(oldRec, newRec *Record) []compareRow {
+	byName := make(map[string]*compareRow)
+	var order []string
+	add := func(b Benchmark, isNew bool) {
+		key := stripCPU(b.Name)
+		row := byName[key]
+		if row == nil {
+			row = &compareRow{Name: key}
+			byName[key] = row
+			order = append(order, key)
+		}
+		bc := b
+		if isNew {
+			row.New = &bc
+		} else {
+			row.Old = &bc
+		}
+	}
+	for _, b := range oldRec.Benchmarks {
+		add(b, false)
+	}
+	for _, b := range newRec.Benchmarks {
+		add(b, true)
+	}
+	sort.Strings(order)
+	rows := make([]compareRow, 0, len(order))
+	for _, key := range order {
+		rows = append(rows, *byName[key])
+	}
+	return rows
+}
+
+// writeCompare renders the comparison table to w and any regression
+// warnings to warn. It returns the number of warnings issued.
+func writeCompare(w, warn io.Writer, oldName, newName string, rows []compareRow) int {
+	fmt.Fprintf(w, "benchmark comparison: %s -> %s\n", oldName, newName)
+	warnings := 0
+	for _, row := range rows {
+		switch {
+		case row.Old == nil:
+			fmt.Fprintf(w, "%-40s only in %s\n", row.Name, newName)
+			continue
+		case row.New == nil:
+			fmt.Fprintf(w, "%-40s only in %s\n", row.Name, oldName)
+			continue
+		}
+		fmt.Fprintf(w, "%s\n", row.Name)
+		for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
+			ov, oOK := metric(row.Old, unit)
+			nv, nOK := metric(row.New, unit)
+			if !oOK && !nOK {
+				continue // metric absent on both sides (no -benchmem)
+			}
+			d, ok := delta(ov, nv)
+			if !ok {
+				fmt.Fprintf(w, "  %-10s %14.0f -> %14.0f\n", unit, ov, nv)
+				continue
+			}
+			fmt.Fprintf(w, "  %-10s %14.0f -> %14.0f  %+7.1f%%\n", unit, ov, nv, 100*d)
+			if unit == "ns/op" && d > regressionWarnThreshold {
+				fmt.Fprintf(warn, "benchjson: WARNING: %s ns/op regressed %.1f%% (%s -> %s)\n",
+					row.Name, 100*d, oldName, newName)
+				warnings++
+			}
+		}
+	}
+	return warnings
+}
+
+func loadRecord(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rec, nil
+}
+
+// runCompare implements `benchjson compare OLD.json NEW.json`. Missing
+// record files and regressions are reported but never fail the run: the
+// subcommand is a CI trend report, not a gate.
+func runCompare(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson compare OLD.json NEW.json")
+		return 2
+	}
+	oldRec, err := loadRecord(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: skipping comparison:", err)
+		return 0
+	}
+	newRec, err := loadRecord(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: skipping comparison:", err)
+		return 0
+	}
+	writeCompare(os.Stdout, os.Stderr, args[0], args[1], compareRecords(oldRec, newRec))
+	return 0
+}

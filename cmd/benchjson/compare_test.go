@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStripCPU(t *testing.T) {
+	cases := map[string]string{
+		"DistributedPruneN256-8":    "DistributedPruneN256",
+		"EngineRound/n=1000-16":     "EngineRound/n=1000",
+		"DistributedPruneN256":      "DistributedPruneN256",
+		"Weird-name":                "Weird-name",
+		"Trailing-":                 "Trailing-",
+		"FloodRadius/r=4-8":         "FloodRadius/r=4",
+		"Mixed/sub-case-with-cpu-4": "Mixed/sub-case-with-cpu",
+	}
+	for in, want := range cases {
+		if got := stripCPU(in); got != want {
+			t.Errorf("stripCPU(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func rec(benches ...Benchmark) *Record {
+	return &Record{V: 1, Benchmarks: benches}
+}
+
+func TestCompareRecordsAlignsAcrossCPUSuffix(t *testing.T) {
+	oldRec := rec(
+		Benchmark{Name: "Prune-8", NsPerOp: 100, Metrics: map[string]float64{"B/op": 50, "allocs/op": 10}},
+		Benchmark{Name: "OnlyOld-8", NsPerOp: 7},
+	)
+	newRec := rec(
+		Benchmark{Name: "Prune-16", NsPerOp: 40, Metrics: map[string]float64{"B/op": 20, "allocs/op": 4}},
+		Benchmark{Name: "OnlyNew-16", NsPerOp: 3},
+	)
+	rows := compareRecords(oldRec, newRec)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3: %+v", len(rows), rows)
+	}
+	// Sorted by stripped name: OnlyNew, OnlyOld, Prune.
+	if rows[0].Name != "OnlyNew" || rows[0].Old != nil || rows[0].New == nil {
+		t.Errorf("row 0: %+v", rows[0])
+	}
+	if rows[1].Name != "OnlyOld" || rows[1].Old == nil || rows[1].New != nil {
+		t.Errorf("row 1: %+v", rows[1])
+	}
+	if rows[2].Name != "Prune" || rows[2].Old == nil || rows[2].New == nil {
+		t.Errorf("row 2: %+v", rows[2])
+	}
+}
+
+func TestWriteCompareImprovementNoWarning(t *testing.T) {
+	rows := compareRecords(
+		rec(Benchmark{Name: "Prune-8", NsPerOp: 100, Metrics: map[string]float64{"B/op": 50, "allocs/op": 10}}),
+		rec(Benchmark{Name: "Prune-8", NsPerOp: 40, Metrics: map[string]float64{"B/op": 20, "allocs/op": 4}}),
+	)
+	var out, warn strings.Builder
+	if n := writeCompare(&out, &warn, "old.json", "new.json", rows); n != 0 {
+		t.Fatalf("got %d warnings, want 0; stderr:\n%s", n, warn.String())
+	}
+	text := out.String()
+	for _, want := range []string{"Prune", "ns/op", "-60.0%", "B/op", "allocs/op"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestWriteCompareRegressionWarns(t *testing.T) {
+	rows := compareRecords(
+		rec(Benchmark{Name: "Prune-8", NsPerOp: 100}),
+		rec(Benchmark{Name: "Prune-8", NsPerOp: 115}),
+	)
+	var out, warn strings.Builder
+	if n := writeCompare(&out, &warn, "old.json", "new.json", rows); n != 1 {
+		t.Fatalf("got %d warnings, want 1; stderr:\n%s", n, warn.String())
+	}
+	if !strings.Contains(warn.String(), "regressed 15.0%") {
+		t.Errorf("warning text: %q", warn.String())
+	}
+}
+
+func TestWriteCompareWithinThresholdNoWarning(t *testing.T) {
+	rows := compareRecords(
+		rec(Benchmark{Name: "Prune-8", NsPerOp: 100}),
+		rec(Benchmark{Name: "Prune-8", NsPerOp: 109}),
+	)
+	var out, warn strings.Builder
+	if n := writeCompare(&out, &warn, "old.json", "new.json", rows); n != 0 {
+		t.Fatalf("9%% drift warned: %s", warn.String())
+	}
+}

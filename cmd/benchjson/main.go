@@ -9,6 +9,14 @@
 // Plain (non -json) `go test -bench` output is accepted too: any line
 // that is not a test2json event is scanned for benchmark results
 // directly.
+//
+// The compare subcommand diffs two records per benchmark (ns/op, B/op,
+// allocs/op), matching names with the -cpu suffix stripped:
+//
+//	go run ./cmd/benchjson compare BENCH_4.json BENCH_5.json
+//
+// A >10% ns/op regression prints a warning to stderr but the exit
+// status stays 0 — the report is a CI trend line, not a gate.
 package main
 
 import (
@@ -48,6 +56,9 @@ type Record struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
 	out := flag.String("out", "", "output file (default stdout)")
 	flag.Parse()
 

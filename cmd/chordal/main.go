@@ -53,8 +53,10 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address for the duration of the run")
+		decideWork = flag.Int("decide-workers", 0, "worker count of the pruning decide kernel (0 = GOMAXPROCS, 1 = sequential; outputs are bit-identical for every value)")
 	)
 	flag.Parse()
+	core.DefaultDecideWorkers = *decideWork
 
 	if err := run(*alg, *eps, *in, *out, *genKind, *n, *maxClique, *seed,
 		*trace, *faults, *faultSeed, *cpuprofile, *memprofile, *pprofAddr); err != nil {

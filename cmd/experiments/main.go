@@ -24,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/exp"
 	"repro/internal/obs"
@@ -38,7 +39,9 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for the duration of the run")
+	decideWork := flag.Int("decide-workers", 0, "worker count of the pruning decide kernel (0 = GOMAXPROCS, 1 = sequential; tables are bit-identical for every value)")
 	flag.Parse()
+	core.DefaultDecideWorkers = *decideWork
 
 	if err := run(*quick, *only, *trace, *faults, *faultSeed, *cpuprofile, *memprofile, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

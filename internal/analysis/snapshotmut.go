@@ -27,6 +27,12 @@ var sharedViewAccessors = map[[3]string]bool{
 	{"graph", "Indexed", "NeighborIDs"}:     true,
 	{"graph", "Indexed", "NeighborIndices"}: true,
 	{"dist", "Context", "Neighbors"}:        true,
+	// The decide kernel's CSR ball views: an iteration-shared Ball is
+	// read concurrently by every decide worker, and even a
+	// worker-private Ball hands out aliases into storage the next
+	// rebuild reuses.
+	{"view", "Ball", "Nodes"}: true,
+	{"view", "Ball", "Row"}:   true,
 }
 
 func runSnapshotMut(pass *Pass) {

@@ -95,3 +95,30 @@ func sliceRange(xs []int) []int {
 	}
 	return out
 }
+
+// The decide kernel's merge shape: per-center decisions keyed by node.
+// Draining the decision map straight into the peel order leaks map
+// iteration entropy into the layer assignment; the blessed merge
+// collects then sorts (the kernel itself iterates a pre-sorted center
+// slice, which is the same idiom one step earlier).
+
+func decidedMergeNoSort(decided map[graph.ID]int) []graph.ID {
+	var peeled []graph.ID
+	for v, layer := range decided {
+		if layer > 0 {
+			peeled = append(peeled, v) // want `appends to peeled while ranging over a map`
+		}
+	}
+	return peeled
+}
+
+func decidedMergeSorted(decided map[graph.ID]int) []graph.ID {
+	var peeled []graph.ID
+	for v, layer := range decided {
+		if layer > 0 {
+			peeled = append(peeled, v)
+		}
+	}
+	sort.Slice(peeled, func(i, j int) bool { return peeled[i] < peeled[j] })
+	return peeled
+}

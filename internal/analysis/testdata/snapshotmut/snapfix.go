@@ -8,6 +8,7 @@ import (
 
 	"snapfix/dist"
 	"snapfix/graph"
+	"snapfix/view"
 )
 
 func sortsView(g *graph.Graph, v graph.ID) {
@@ -61,6 +62,39 @@ func sumView(ix *graph.Indexed, i int) graph.ID {
 	var total graph.ID
 	for _, u := range ix.NeighborIDs(i) {
 		total += u
+	}
+	return total
+}
+
+// The decide kernel's CSR ball views are shared exactly like the graph
+// snapshot accessors: the iteration-wide ball is read by every worker.
+
+func writesBallNodes(b *view.Ball) {
+	b.Nodes()[0] = 3 // want `writes into the shared snapshot view from view.Ball.Nodes`
+}
+
+func sortsBallRow(b *view.Ball, r int32) {
+	row := b.Row(r)
+	slices.Sort(row) // want `sorts the shared snapshot view from view.Ball.Row`
+}
+
+func appendsBallRowAlias(b *view.Ball, r int32) []int32 {
+	row := b.Row(r)
+	return append(row, 9) // want `appends onto the shared snapshot view from view.Ball.Row`
+}
+
+// copyBallRow is the blessed idiom: clone the row before mutating.
+func copyBallRow(b *view.Ball, r int32) []int32 {
+	cp := append([]int32(nil), b.Row(r)...)
+	slices.Sort(cp)
+	return cp
+}
+
+// walking a row read-only is always fine.
+func sumBallRow(b *view.Ball, r int32) int32 {
+	var total int32
+	for _, nb := range b.Row(r) {
+		total += nb
 	}
 	return total
 }

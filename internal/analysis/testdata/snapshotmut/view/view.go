@@ -1,0 +1,16 @@
+// Package view mirrors the decide kernel's CSR ball views
+// (internal/view): Nodes and Row return shared views into the ball's
+// storage that snapshotmut must keep read-only.
+package view
+
+type Ball struct {
+	nodes  []int32
+	rowPtr []int32
+	cols   []int32
+}
+
+// Nodes returns the row -> snapshot-index table as a shared view.
+func (b *Ball) Nodes() []int32 { return b.nodes }
+
+// Row returns row r's neighbor rows as a shared view.
+func (b *Ball) Row(r int32) []int32 { return b.cols[b.rowPtr[r]:b.rowPtr[r+1]] }

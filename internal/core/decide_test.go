@@ -1,0 +1,162 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// decideWorkerSweep is the satellite determinism matrix: the kernel
+// must be bit-identical at 1 worker (the sequential loop), 2, and
+// GOMAXPROCS.
+func decideWorkerSweep() []int {
+	return []int{1, 2, runtime.GOMAXPROCS(0)}
+}
+
+// TestDecideKernelDeterministicAcrossWorkers requires the parallel
+// decide kernel to produce bit-identical outcomes — layers, parents,
+// iteration and round counts, traffic counters — for every worker
+// count, on workloads covering both view paths: balls that cover their
+// component (shared G_i ball) and balls clipped by the radius
+// (per-center index-space rebuild).
+func TestDecideKernelDeterministicAcrossWorkers(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		// Small diameter: every ball covers its component.
+		"chordal150": gen.RandomChordal(150, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.5}, 9),
+		// Diameter far beyond the radius: per-center ball rebuilds.
+		"tree400": gen.Tree(400, 11),
+		"path200": gen.Path(200),
+	}
+	for name, g := range graphs {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			var ref *PruneOutcome
+			for _, w := range decideWorkerSweep() {
+				out, err := DistributedPruneSpec(g, PruneSpec{
+					DiamThreshold: 6, Radius: 20, DecideWorkers: w,
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if ref == nil {
+					ref = out
+					continue
+				}
+				if out.Rounds != ref.Rounds || out.Iterations != ref.Iterations ||
+					out.Messages != ref.Messages || out.Volume != ref.Volume {
+					t.Fatalf("workers=%d: counters (rounds=%d iter=%d msgs=%d vol=%d), want (%d,%d,%d,%d)",
+						w, out.Rounds, out.Iterations, out.Messages, out.Volume,
+						ref.Rounds, ref.Iterations, ref.Messages, ref.Volume)
+				}
+				if !reflect.DeepEqual(out.Layer, ref.Layer) {
+					t.Fatalf("workers=%d: layer assignment differs from workers=1", w)
+				}
+				if !reflect.DeepEqual(out.Parent, ref.Parent) {
+					t.Fatalf("workers=%d: parent assignment differs from workers=1", w)
+				}
+			}
+		})
+	}
+}
+
+// TestDecideKernelAlphaRuleDeterministicAcrossWorkers sweeps the worker
+// count over the MIS pipeline (Algorithm 6), which exercises the decide
+// kernel's α-rule last iteration on top of the diameter rule, via the
+// DefaultDecideWorkers global the command-line front ends set.
+func TestDecideKernelAlphaRuleDeterministicAcrossWorkers(t *testing.T) {
+	g := gen.RandomChordal(120, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.4}, 5)
+	old := DefaultDecideWorkers
+	defer func() { DefaultDecideWorkers = old }()
+	var ref *ChordalMISResult
+	for _, w := range decideWorkerSweep() {
+		DefaultDecideWorkers = w
+		out, err := MISChordalDistributed(g, 0.4)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if ref == nil {
+			ref = out
+			continue
+		}
+		if out.Rounds != ref.Rounds || out.Iterations != ref.Iterations {
+			t.Fatalf("workers=%d: rounds=%d iter=%d, want rounds=%d iter=%d",
+				w, out.Rounds, out.Iterations, ref.Rounds, ref.Iterations)
+		}
+		if !reflect.DeepEqual(out.Set, ref.Set) {
+			t.Fatalf("workers=%d: MIS differs from workers=1", w)
+		}
+	}
+}
+
+// TestDecideKernelErrorDeterministicAcrossWorkers checks first-error-
+// wins semantics: on a non-chordal input the failing center — and hence
+// the error text — must not depend on the worker count. The graph is a
+// C4 wheel: node 4's closed neighborhood contains an induced 4-cycle,
+// so the first center in snapshot-index order whose walk ensures node 4
+// (center 0) reports the failure.
+func TestDecideKernelErrorDeterministicAcrossWorkers(t *testing.T) {
+	g := graph.FromEdges(nil, [][2]graph.ID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0}, // C4
+		{0, 4}, {1, 4}, {2, 4}, {3, 4}, // hub
+	})
+	var ref error
+	for _, w := range decideWorkerSweep() {
+		_, err := DistributedPruneSpec(g, PruneSpec{
+			DiamThreshold: 3, Radius: 10, DecideWorkers: w,
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected a non-chordal error", w)
+		}
+		if ref == nil {
+			ref = err
+			continue
+		}
+		if err.Error() != ref.Error() {
+			t.Fatalf("workers=%d: error %q, want %q", w, err, ref)
+		}
+	}
+}
+
+// TestDecideErrorAppliesNothing checks the merge's two-pass contract: a
+// failing iteration must not commit any per-center result, exactly like
+// the sequential loop that stopped at its first error.
+func TestDecideErrorAppliesNothing(t *testing.T) {
+	g := graph.FromEdges(nil, [][2]graph.ID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0},
+		{0, 4}, {1, 4}, {2, 4}, {3, 4},
+	})
+	out, err := DistributedPruneSpec(g, PruneSpec{DiamThreshold: 3, Radius: 10})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if out != nil {
+		t.Fatalf("outcome must be nil on error, got %+v", out)
+	}
+	var de *decideError
+	if !errors.As(err, &de) {
+		// The public error is the wrapped form; the internal carrier
+		// must not leak.
+		_ = de
+	} else {
+		t.Fatalf("decideError leaked unwrapped: %v", err)
+	}
+}
+
+// TestDecideKernelRaceStress drives the parallel kernel at GOMAXPROCS
+// workers on a workload with several iterations; under `make race` this
+// is the dedicated stress entry for the shared cache, the shared G_i
+// ball, and the per-shard result slots.
+func TestDecideKernelRaceStress(t *testing.T) {
+	g := gen.RandomChordal(200, gen.ChordalOpts{MaxCliqueSize: 5, AttachFull: 0.3}, 21)
+	out, err := DistributedPrune(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Layer) != g.NumNodes() {
+		t.Fatalf("decided %d of %d nodes", len(out.Layer), g.NumNodes())
+	}
+}

@@ -2,13 +2,11 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
-	"repro/internal/chordal"
-	"repro/internal/cliquetree"
 	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/peel"
+	"repro/internal/view"
 )
 
 // PruneOutcome is the result of the distributed pruning phase
@@ -52,6 +50,11 @@ type PruneSpec struct {
 	// delay; dropped messages shrink balls and typically surface as a
 	// Lemma-12 divergence in the callers' centralized cross-check.
 	Faults *dist.Faults
+	// DecideWorkers bounds the decide kernel's worker count: 0 falls
+	// back to DefaultDecideWorkers (and then GOMAXPROCS), 1 forces the
+	// sequential schedule. The decision outcome is bit-identical for
+	// every value; only wall time changes.
+	DecideWorkers int
 }
 
 // DistributedPrune runs the PruneTree subroutine of Algorithm 2 with
@@ -82,6 +85,16 @@ func DistributedPruneSpec(g *graph.Graph, spec PruneSpec) (*PruneOutcome, error)
 	// once and reuse the snapshot for every flood.
 	ix := graph.NewIndexed(g)
 	nodes := ix.IDs()
+	// Decide-kernel state reused across iterations: the undecided-set
+	// views, the iteration-shared G_i ball, and one scratch per worker
+	// shard (see decide.go).
+	workers := resolveDecideWorkers(spec.DecideWorkers)
+	undecidedIdx := make([]bool, ix.NumNodes())
+	centers := make([]int32, 0, ix.NumNodes())
+	undecidedAll := make([]graph.ID, 0, ix.NumNodes())
+	var sharedBall view.Ball
+	var scratches []*decideScratch
+	var results []decideResult
 	for iteration := 1; len(out.Layer) < g.NumNodes(); iteration++ {
 		if spec.MaxIterations > 0 && iteration > spec.MaxIterations {
 			break
@@ -117,51 +130,59 @@ func DistributedPruneSpec(g *graph.Graph, spec PruneSpec) (*PruneOutcome, error)
 			_, done := out.Layer[u]
 			return !done
 		}
+		centers = centers[:0]
+		undecidedAll = undecidedAll[:0]
+		for i, v := range nodes {
+			if undecided(v) {
+				undecidedIdx[i] = true
+				centers = append(centers, int32(i))
+				undecidedAll = append(undecidedAll, v)
+			} else {
+				undecidedIdx[i] = false
+			}
+		}
 		// G_i, the global remaining graph, and the iteration-wide clique
 		// cache over it. Each node still decides from its own ball alone;
 		// the cache only shares the φ(u)/T(u) computations that every ball
-		// trusting u performs identically (see cliqueCache).
-		var undecidedAll []graph.ID
-		for _, v := range nodes {
-			if undecided(v) {
-				undecidedAll = append(undecidedAll, v)
-			}
-		}
+		// trusting u performs identically (see cliqueCache). The cache is
+		// pre-populated deterministically and the shared G_i ball built
+		// up front, so the decide workers only ever read them.
 		gi := g.InducedSubgraph(undecidedAll)
 		var cache *cliqueCache
 		if spec.Radius >= 2 {
-			cache = newCliqueCache(gi)
+			cache = newCliqueCache(gi, ix)
+			cache.prepopulate(undecidedAll, workers)
+			sharedBall.BuildFromIndexed(ix, undecidedIdx)
 		}
-		decided := make(map[graph.ID]graph.ID) // node -> parent (or -1)
-		for _, v := range nodes {
-			if !undecided(v) {
-				continue
-			}
-			// The node's local picture of G_i: its ball restricted to the
-			// still-undecided nodes (each node learned the layers via the
-			// flood notes). When the ball provably covers v's entire
-			// component, that picture IS the component's share of G_i, so
-			// the shared graph substitutes for a per-node copy.
-			var ballGi *graph.Graph
-			if cache != nil && know[v].CoversComponent() {
-				ballGi = gi
-			} else {
-				ballGi = know[v].FilteredBallGraph(spec.Radius, undecided)
-			}
-			peelMe, parent, err := decideNodeRule(ballGi, v, rule, spec.Radius, cache)
-			if err != nil {
-				return nil, fmt.Errorf("iteration %d node %d: %w", iteration, v, err)
-			}
-			if peelMe {
-				decided[v] = parent
+		for s := shardCount(len(centers), workers); len(scratches) < s; {
+			scratches = append(scratches, &decideScratch{})
+		}
+		if ps, ok := spec.Observer.(dist.PhaseSetter); ok {
+			ps.SetPhase(fmt.Sprintf("decide-i%02d", iteration))
+		}
+		var derr error
+		results, derr = runDecideStage(ix, know, cache, &sharedBall, scratches,
+			centers, undecidedIdx, undecided, rule, spec.Radius, workers, spec.Observer, results)
+		if derr != nil {
+			de := derr.(*decideError)
+			return nil, fmt.Errorf("iteration %d node %d: %w", iteration, de.node, de.err)
+		}
+		peeled := 0
+		for i := range results {
+			if results[i].peel {
+				peeled++
 			}
 		}
-		if len(decided) == 0 && !last {
+		if peeled == 0 && !last {
 			return nil, fmt.Errorf("iteration %d peeled nothing", iteration)
 		}
-		for v, parent := range decided {
+		for pos, ci := range centers {
+			if !results[pos].peel {
+				continue
+			}
+			v := nodes[ci]
 			out.Layer[v] = iteration
-			if parent >= 0 {
+			if parent := results[pos].parent; parent >= 0 {
 				out.Parent[v] = parent
 			}
 		}
@@ -169,412 +190,12 @@ func DistributedPruneSpec(g *graph.Graph, spec PruneSpec) (*PruneOutcome, error)
 	return out, nil
 }
 
-// decideRule is the per-iteration peeling rule used by decideNodeRule.
+// decideRule is the per-iteration peeling rule used by the decide
+// kernel (decide.go).
 type decideRule struct {
 	diamThreshold  int
 	alphaThreshold int // >0 switches internal paths to the α rule
 	parentHorizon  int // parent adoption distance (k+3)
-}
-
-// cliqueCache shares the per-node Section 3 computations — φ(u), the
-// maximal cliques containing u, and T(u), the MWSF of W_G restricted to
-// φ(u) (Lemma 2) — across all centers of one pruning iteration. Both
-// depend only on G_i[Γ[u]] (MaximalCliquesContaining computes from the
-// closed neighborhood; the forest restriction is a function of φ(u)
-// alone), and every center whose ball trusts u sees exactly that
-// neighborhood, so computing them once on G_i is bit-for-bit equivalent
-// to recomputing them inside each ball. Cliques are interned to integer
-// ids so per-center views dedup by id instead of hashing members.
-type cliqueCache struct {
-	gi    *graph.Graph
-	idx   map[string]int
-	views map[graph.ID]*nodeCliques
-}
-
-// nodeCliques is one node's cached share: φ(u) in canonical order, the
-// interned id of each clique, and T(u) as index pairs into phi.
-type nodeCliques struct {
-	phi   []graph.Set
-	ids   []int
-	edges [][2]int
-}
-
-func newCliqueCache(gi *graph.Graph) *cliqueCache {
-	return &cliqueCache{
-		gi:    gi,
-		idx:   make(map[string]int),
-		views: make(map[graph.ID]*nodeCliques),
-	}
-}
-
-func (cc *cliqueCache) intern(c graph.Set) int {
-	b := make([]byte, 0, len(c)*4)
-	for _, v := range c {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	key := string(b)
-	if i, ok := cc.idx[key]; ok {
-		return i
-	}
-	i := len(cc.idx)
-	cc.idx[key] = i
-	return i
-}
-
-func (cc *cliqueCache) node(u graph.ID) (*nodeCliques, error) {
-	if nv, ok := cc.views[u]; ok {
-		return nv, nil
-	}
-	phi, err := cliquetree.MaximalCliquesContaining(cc.gi, u)
-	if err != nil {
-		return nil, err
-	}
-	nv := &nodeCliques{phi: phi, ids: make([]int, len(phi))}
-	for i, c := range phi {
-		nv.ids[i] = cc.intern(c)
-	}
-	nv.edges = cliquetree.MaxWeightSpanningForest(phi, cliquetree.WCIG(phi))
-	cc.views[u] = nv
-	return nv, nil
-}
-
-// lazyView incrementally reconstructs the clique forest of the ball graph
-// around a center node, expanding T(u) only for the members of cliques the
-// walk actually visits (Section 3 machinery, computed on demand). The
-// φ(u)/T(u) building blocks come from the shared per-iteration cache;
-// which cliques get merged, and in which local order, is still driven by
-// this center's walk alone.
-type lazyView struct {
-	g       *graph.Graph
-	cache   *cliqueCache
-	distV   map[graph.ID]int
-	horizon int
-
-	localIdx map[int]int // cache clique id -> local index
-	cliques  []graph.Set
-	adj      map[int]map[int]bool
-	ensured  map[graph.ID]bool
-	phi      map[graph.ID][]int
-}
-
-func newLazyView(ballGi *graph.Graph, center graph.ID, horizon int, cache *cliqueCache) *lazyView {
-	if cache == nil {
-		// Horizon too small for the sharing argument: fall back to a
-		// private cache over this center's own ball.
-		cache = newCliqueCache(ballGi)
-	}
-	return &lazyView{
-		g:        ballGi,
-		cache:    cache,
-		distV:    ballGi.BFSDistances(center),
-		horizon:  horizon,
-		localIdx: make(map[int]int),
-		adj:      make(map[int]map[int]bool),
-		ensured:  make(map[graph.ID]bool),
-		phi:      make(map[graph.ID][]int),
-	}
-}
-
-func (lv *lazyView) addClique(cacheID int, c graph.Set) int {
-	if i, ok := lv.localIdx[cacheID]; ok {
-		return i
-	}
-	i := len(lv.cliques)
-	lv.localIdx[cacheID] = i
-	lv.cliques = append(lv.cliques, c)
-	lv.adj[i] = make(map[int]bool)
-	for _, v := range c {
-		lv.phi[v] = append(lv.phi[v], i)
-	}
-	return i
-}
-
-// trusted reports whether every member of clique i is far enough from the
-// knowledge horizon that its neighborhood (and hence the clique's full
-// forest adjacency) is known exactly.
-func (lv *lazyView) trusted(i int) bool {
-	for _, v := range lv.cliques[i] {
-		d, ok := lv.distV[v]
-		if !ok || d > lv.horizon-3 {
-			return false
-		}
-	}
-	return true
-}
-
-// ensureNode merges φ(u) and the edges of T(u) (Lemma 2) into the view.
-// Only valid for nodes within the trusted zone.
-func (lv *lazyView) ensureNode(u graph.ID) error {
-	if lv.ensured[u] {
-		return nil
-	}
-	lv.ensured[u] = true
-	nc, err := lv.cache.node(u)
-	if err != nil {
-		return err
-	}
-	idx := make([]int, len(nc.phi))
-	for i, c := range nc.phi {
-		idx[i] = lv.addClique(nc.ids[i], c)
-	}
-	for _, e := range nc.edges {
-		a, b := idx[e[0]], idx[e[1]]
-		lv.adj[a][b] = true
-		lv.adj[b][a] = true
-	}
-	return nil
-}
-
-// ensureClique expands T(u) for every member of clique i, making the
-// clique's forest adjacency exact (requires trusted(i)).
-func (lv *lazyView) ensureClique(i int) error {
-	for _, u := range lv.cliques[i] {
-		if err := lv.ensureNode(u); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (lv *lazyView) degree(i int) int { return len(lv.adj[i]) }
-
-func (lv *lazyView) neighbors(i int) []int {
-	var out []int
-	for j := range lv.adj[i] {
-		out = append(out, j)
-	}
-	sort.Ints(out)
-	return out
-}
-
-// decideNodeRule determines, purely from v's G_i-restricted ball, whether
-// v is peeled in the current iteration under the given rule, and if so
-// returns its parent (-1 = ⊥).
-func decideNodeRule(ballGi *graph.Graph, v graph.ID, rule decideRule, radius int, cache *cliqueCache) (bool, graph.ID, error) {
-	lv := newLazyView(ballGi, v, radius, cache)
-	if err := lv.ensureNode(v); err != nil {
-		return false, -1, err
-	}
-	own := append([]int(nil), lv.phi[v]...)
-	// Every clique containing v sits within Γ[v]; ensure their members so
-	// degrees of φ(v) are exact, and require them all binary.
-	for _, ci := range own {
-		if !lv.trusted(ci) {
-			// Cannot happen for radius ≥ 4; be conservative.
-			return false, -1, nil
-		}
-		if err := lv.ensureClique(ci); err != nil {
-			return false, -1, err
-		}
-	}
-	for _, ci := range own {
-		if lv.degree(ci) > 2 {
-			return false, -1, nil
-		}
-	}
-
-	// φ(v) induces a path in the forest; find its two ends.
-	inOwn := make(map[int]bool, len(own))
-	for _, ci := range own {
-		inOwn[ci] = true
-	}
-	walked := append([]int(nil), own...)
-	inWalked := make(map[int]bool, len(walked))
-	for _, ci := range walked {
-		inWalked[ci] = true
-	}
-
-	// endState: 0 leaf, 1 branch (deg>=3), 2 frontier (untrusted).
-	var ends [2]int
-	var attach [2]graph.Set // branch clique per end, nil otherwise
-	endIdx := 0
-	// Walk outward from each end of the own-path.
-	for _, start := range pathEnds(lv, own) {
-		state, att, extension, err := walkDirection(lv, start, inWalked)
-		if err != nil {
-			return false, -1, err
-		}
-		for _, ci := range extension {
-			walked = append(walked, ci)
-			inWalked[ci] = true
-		}
-		ends[endIdx] = state
-		attach[endIdx] = att
-		endIdx++
-		if endIdx == 2 {
-			break
-		}
-	}
-
-	peelMe := false
-	if ends[0] == 0 || ends[1] == 0 {
-		peelMe = true // pendant path
-	} else if rule.alphaThreshold > 0 {
-		// Algorithm 6's last iteration: peel internal paths whose
-		// independence number reaches the threshold. The walked portion
-		// suffices: paths cut at the frontier span enough distance that
-		// their α already exceeds the threshold, and fully visible paths
-		// are measured exactly.
-		members := make(map[graph.ID]bool)
-		for _, ci := range walked {
-			for _, u := range lv.cliques[ci] {
-				members[u] = true
-			}
-		}
-		ms := make([]graph.ID, 0, len(members))
-		for u := range members {
-			ms = append(ms, u)
-		}
-		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
-		alpha, err := chordal.IndependenceNumber(lv.g.InducedSubgraph(ms))
-		if err != nil {
-			return false, -1, err
-		}
-		peelMe = alpha >= rule.alphaThreshold
-	} else {
-		// Internal (or frontier-extended) path: peel iff anchored
-		// diameter reaches the threshold within the walked portion.
-		if walkedDiameter(lv, walked) >= rule.diamThreshold {
-			peelMe = true
-		}
-	}
-	if !peelMe {
-		return false, -1, nil
-	}
-
-	// Parent (Definition 1): the closest attachment clique within k+3.
-	parent := graph.ID(-1)
-	bestDist := 1 << 30
-	for e := 0; e < 2; e++ {
-		if attach[e] == nil {
-			continue
-		}
-		d := distToSet(ballGi, v, attach[e])
-		if d <= rule.parentHorizon && d < bestDist {
-			bestDist = d
-			parent = attach[e][len(attach[e])-1] // max ID in sorted set
-		}
-	}
-	return true, parent, nil
-}
-
-// pathEnds returns the (at most two) cliques of the own-path with fewer
-// than two neighbors inside it; for a single clique it returns it twice.
-func pathEnds(lv *lazyView, own []int) []int {
-	if len(own) == 1 {
-		return []int{own[0], own[0]}
-	}
-	inOwn := make(map[int]bool, len(own))
-	for _, ci := range own {
-		inOwn[ci] = true
-	}
-	var ends []int
-	for _, ci := range own {
-		inside := 0
-		for _, nb := range lv.neighbors(ci) {
-			if inOwn[nb] {
-				inside++
-			}
-		}
-		if inside <= 1 {
-			ends = append(ends, ci)
-		}
-	}
-	sort.Ints(ends)
-	return ends
-}
-
-// walkDirection extends the walked path from one end through binary
-// trusted cliques. It returns the end state (0 leaf, 1 branch,
-// 2 frontier), the branch clique if any, and the cliques added.
-func walkDirection(lv *lazyView, start int, inWalked map[int]bool) (int, graph.Set, []int, error) {
-	var added []int
-	cur := start
-	for {
-		next := -1
-		for _, nb := range lv.neighbors(cur) {
-			if !inWalked[nb] && !contains(added, nb) {
-				next = nb
-				break
-			}
-		}
-		if next == -1 {
-			return 0, nil, added, nil // leaf end
-		}
-		if !lv.trusted(next) {
-			inWalked[next] = true     // consume so the other walk skips it
-			return 2, nil, added, nil // frontier
-		}
-		if err := lv.ensureClique(next); err != nil {
-			return 0, nil, added, err
-		}
-		if lv.degree(next) > 2 {
-			inWalked[next] = true                  // consume so the other walk skips it
-			return 1, lv.cliques[next], added, nil // branch vertex
-		}
-		added = append(added, next)
-		inWalked[next] = true
-		cur = next
-	}
-}
-
-func contains(xs []int, x int) bool {
-	for _, y := range xs {
-		if y == x {
-			return true
-		}
-	}
-	return false
-}
-
-// walkedDiameter computes the anchored diameter of the walked path: the
-// maximum ball-graph distance from a member of the two extreme cliques to
-// any walked node. For pairs below the 3k threshold, ball distances equal
-// true distances (shortest paths fit inside the 10k ball).
-func walkedDiameter(lv *lazyView, walked []int) int {
-	members := make(map[graph.ID]bool)
-	for _, ci := range walked {
-		for _, v := range lv.cliques[ci] {
-			members[v] = true
-		}
-	}
-	// Extreme cliques: those with ≤1 neighbor inside walked.
-	inWalked := make(map[int]bool, len(walked))
-	for _, ci := range walked {
-		inWalked[ci] = true
-	}
-	var anchors []graph.ID
-	for _, ci := range walked {
-		inside := 0
-		for _, nb := range lv.neighbors(ci) {
-			if inWalked[nb] {
-				inside++
-			}
-		}
-		if inside <= 1 {
-			anchors = append(anchors, lv.cliques[ci]...)
-		}
-	}
-	best := 0
-	for _, a := range anchors {
-		for u, d := range lv.g.BFSDistances(a) {
-			if members[u] && d > best {
-				best = d
-			}
-		}
-	}
-	return best
-}
-
-func distToSet(g *graph.Graph, v graph.ID, set graph.Set) int {
-	dist := g.BFSDistances(v)
-	best := 1 << 30
-	for _, u := range set {
-		if d, ok := dist[u]; ok && d < best {
-			best = d
-		}
-	}
-	return best
 }
 
 // ColorChordalDistributed runs the full distributed Algorithm 2: the

@@ -103,10 +103,9 @@ func TestFloodDedupModesAgree(t *testing.T) {
 	ix := graph.NewIndexed(g)
 	radius := 4
 	run := func(forceMap bool) floodFingerprint {
-		n := ix.NumNodes()
 		eng := NewEngineIndexed(ix, func(v graph.ID) Protocol {
 			i, _ := ix.IndexOf(v)
-			p := newFloodProtocol(v, i, n, ix.NeighborIDs(i), nil, radius, 8)
+			p := newFloodProtocol(v, i, ix, nil, radius, 8)
 			if forceMap {
 				// Disable the bitmap so dedup falls back to the
 				// position map, as it would for n > seenBitmapMaxN.

@@ -15,7 +15,11 @@ type NodeInfo struct {
 	Note any
 	// idx is the node's dense index in the engine's graph snapshot; it
 	// travels with the record so receivers can dedup with a bitmap
-	// instead of a hash lookup.
+	// instead of a hash lookup, and so index-space consumers (the
+	// pruning decide kernel's view.Ball) can fetch the record's CSR
+	// adjacency row straight from the shared snapshot — the record
+	// itself stays three words plus the index, since flooding copies
+	// every record through many inboxes.
 	idx int32
 }
 
@@ -31,6 +35,18 @@ type Knowledge struct {
 	recs   []NodeInfo
 	dist   []int32 // aligned with recs
 	pos    map[graph.ID]int32
+	// seen is the flood protocol's dense dedup bitmap by snapshot index,
+	// handed over to the knowledge it built (nil in the map-dedup regime
+	// and for retransmitted knowledge). CoversComponent and KnownIdx
+	// reuse it so small-n pruning never allocates a per-center position
+	// map.
+	seen []uint64
+	// snap is the engine snapshot the flood ran on. Every record carries
+	// its snapshot index, so index-space accessors (RecordAt, KnownIdx,
+	// the bitmap CoversComponent) resolve adjacency rows through the
+	// snapshot's CSR instead of shipping a second slice per record.
+	// Non-nil for all protocol-built knowledge.
+	snap *graph.Indexed
 	// maxDist is the largest distance at which the flood still learned a
 	// new node.
 	maxDist int
@@ -50,6 +66,41 @@ func (k *Knowledge) ensurePos() map[graph.ID]int32 {
 
 // Size returns the number of known nodes (the center counts).
 func (k *Knowledge) Size() int { return len(k.recs) }
+
+// RecordCount returns the number of records, implementing the decide
+// kernel's view.Source.
+func (k *Knowledge) RecordCount() int { return len(k.recs) }
+
+// RecordAt returns record i's snapshot index, its hop distance from the
+// center, and its adjacency row in snapshot-index space (a shared view —
+// read-only), implementing view.Source. Records are in nondecreasing-
+// distance discovery order with the center first. Only meaningful when
+// IndexReady reports true.
+func (k *Knowledge) RecordAt(i int) (idx int32, dist int32, adj []int32) {
+	idx = k.recs[i].idx
+	return idx, k.dist[i], k.snap.NeighborIndices(int(idx))
+}
+
+// IndexReady reports whether the knowledge can resolve records in
+// snapshot-index space, i.e. whether RecordAt and KnownIdx are usable.
+// True for all knowledge built by the flooding protocols.
+func (k *Knowledge) IndexReady() bool { return k.snap != nil }
+
+// KnownIdx reports whether the node at snapshot index i is within the
+// collected ball. In the dense-bitmap regime this is a single bit test
+// with no map build; otherwise it falls back to a record scan. Only
+// meaningful when IndexReady reports true.
+func (k *Knowledge) KnownIdx(i int32) bool {
+	if k.seen != nil {
+		return k.seen[i>>6]&(1<<(uint(i)&63)) != 0
+	}
+	for j := range k.recs {
+		if k.recs[j].idx == i {
+			return true
+		}
+	}
+	return false
+}
 
 // Known reports whether v is within the collected ball.
 func (k *Knowledge) Known(v graph.ID) bool {
@@ -93,7 +144,23 @@ func (k *Knowledge) InfoOf(v graph.ID) (NodeInfo, bool) {
 // unknown neighbors hang off the last hop, so the common negative
 // answer stays near-O(1). False means only that the ball was clipped,
 // never that coverage is uncertain.
+//
+// In the dense-bitmap regime (n ≤ seenBitmapMaxN) the scan runs in
+// snapshot-index space against the flood's own dedup bitmap, so the
+// per-center position map is never built — the pruning phase calls this
+// once per undecided center per iteration, and the bitmap path keeps
+// that allocation-free.
 func (k *Knowledge) CoversComponent() bool {
+	if k.seen != nil && k.snap != nil {
+		for i := len(k.recs) - 1; i >= 0; i-- {
+			for _, u := range k.snap.NeighborIndices(int(k.recs[i].idx)) {
+				if k.seen[u>>6]&(1<<(uint(u)&63)) == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
 	pos := k.ensurePos()
 	for i := len(k.recs) - 1; i >= 0; i-- {
 		for _, u := range k.recs[i].Adj {
@@ -183,13 +250,15 @@ type floodProtocol struct {
 	seen   []uint64 // dense dedup bitmap by snapshot index; nil for big n
 }
 
-func newFloodProtocol(v graph.ID, idx, n int, adj []graph.ID, note any, radius, sizeHint int) *floodProtocol {
-	self := NodeInfo{Node: v, Adj: adj, Note: note, idx: int32(idx)}
+func newFloodProtocol(v graph.ID, idx int, ix *graph.Indexed, note any, radius, sizeHint int) *floodProtocol {
+	n := ix.NumNodes()
+	self := NodeInfo{Node: v, Adj: ix.NeighborIDs(idx), Note: note, idx: int32(idx)}
 	k := &Knowledge{
 		Center: v,
 		Radius: radius,
 		recs:   make([]NodeInfo, 0, sizeHint),
 		dist:   make([]int32, 0, sizeHint),
+		snap:   ix,
 	}
 	k.recs = append(k.recs, self)
 	k.dist = append(k.dist, 0)
@@ -197,6 +266,9 @@ func newFloodProtocol(v graph.ID, idx, n int, adj []graph.ID, note any, radius, 
 	if n <= seenBitmapMaxN {
 		p.seen = make([]uint64, (n+63)/64)
 		p.seen[idx>>6] |= 1 << (uint(idx) & 63)
+		// The knowledge shares the bitmap: after the run it serves as
+		// the index-space membership test (CoversComponent, KnownIdx).
+		k.seen = p.seen
 	} else {
 		k.pos = make(map[graph.ID]int32, sizeHint)
 		k.pos[v] = 0
@@ -337,7 +409,7 @@ func CollectBallsIndexedFaulty(ix *graph.Indexed, radius int, notes map[graph.ID
 	eng := NewEngineIndexed(ix, func(v graph.ID) Protocol {
 		i, _ := ix.IndexOf(v)
 		hint := ballSizeHint(ix.Degree(i), avgDeg, radius, n)
-		return newFloodProtocol(v, i, n, ix.NeighborIDs(i), notes[v], radius, hint)
+		return newFloodProtocol(v, i, ix, notes[v], radius, hint)
 	})
 	eng.Observer = o
 	eng.Faults = f

@@ -1,0 +1,114 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// forceMapPath returns a copy of k with the dedup bitmap detached and
+// the position map unbuilt, so CoversComponent and KnownIdx take the
+// reference map/scan paths.
+func forceMapPath(k *Knowledge) *Knowledge {
+	kc := *k
+	kc.seen = nil
+	kc.pos = nil
+	return &kc
+}
+
+// TestCoversComponentBitmapMatchesMapPath checks that the dense-bitmap
+// fast path of CoversComponent agrees with the position-map path on
+// both answers: balls that cover their component (radius beyond the
+// diameter) and balls the radius clips.
+func TestCoversComponentBitmapMatchesMapPath(t *testing.T) {
+	g := gen.RandomChordal(120, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.4}, 17)
+	// A second component so coverage is per-component, not per-graph.
+	g.AddEdge(5000, 5001)
+	g.AddEdge(5001, 5002)
+	for _, radius := range []int{0, 1, 2, 3, 50} {
+		ix := graph.NewIndexed(g)
+		know, _, err := CollectBallsIndexed(ix, radius, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered, clipped := 0, 0
+		for _, v := range ix.IDs() {
+			k := know[v]
+			if k.seen == nil {
+				t.Fatalf("radius %d: knowledge of %d has no dedup bitmap at n=%d", radius, v, ix.NumNodes())
+			}
+			got := k.CoversComponent()
+			if k.pos != nil {
+				t.Fatalf("radius %d: bitmap CoversComponent of %d built the position map", radius, v)
+			}
+			if want := forceMapPath(k).CoversComponent(); got != want {
+				t.Fatalf("radius %d: CoversComponent of %d: bitmap %v, map path %v", radius, v, got, want)
+			}
+			if got {
+				covered++
+			} else {
+				clipped++
+			}
+		}
+		// Both answers must actually occur across the radius sweep ends.
+		if radius == 0 && covered != 0 {
+			t.Fatalf("radius 0: %d balls claim component coverage", covered)
+		}
+		if radius == 50 && clipped != 0 {
+			t.Fatalf("radius 50: %d balls still clipped", clipped)
+		}
+	}
+}
+
+// TestKnownIdxBitmapAndScanAgree checks KnownIdx's bit-test path against
+// the record-scan fallback and against Known on IDs, for clipped balls.
+func TestKnownIdxBitmapAndScanAgree(t *testing.T) {
+	g := gen.Tree(90, 7)
+	ix := graph.NewIndexed(g)
+	know, _, err := CollectBallsIndexed(ix, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := ix.IDs()
+	for _, v := range ids {
+		k := know[v]
+		if !k.IndexReady() {
+			t.Fatalf("knowledge of %d not index-ready", v)
+		}
+		scan := forceMapPath(k)
+		for i := range ids {
+			bit := k.KnownIdx(int32(i))
+			if slow := scan.KnownIdx(int32(i)); bit != slow {
+				t.Fatalf("center %d idx %d: bitmap KnownIdx %v, scan %v", v, i, bit, slow)
+			}
+			if byID := k.Known(ids[i]); bit != byID {
+				t.Fatalf("center %d idx %d: KnownIdx %v, Known(%d) %v", v, i, bit, ids[i], byID)
+			}
+		}
+	}
+}
+
+// TestRetransKnowledgeIndexReady checks that retransmission-protocol
+// knowledge is index-ready (the decide kernel consumes it through
+// view.Source) while carrying no bitmap — its CoversComponent takes the
+// position-map path.
+func TestRetransKnowledgeIndexReady(t *testing.T) {
+	g := gen.Path(40)
+	know, _, err := CollectBallsRetrans(g, 4, 50, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range g.Nodes() {
+		k := know[v]
+		if !k.IndexReady() {
+			t.Fatalf("retrans knowledge of %d not index-ready", v)
+		}
+		if k.seen != nil {
+			t.Fatalf("retrans knowledge of %d unexpectedly carries a dedup bitmap", v)
+		}
+		if got, want := k.CoversComponent(), forceMapPath(k).CoversComponent(); got != want {
+			t.Fatalf("retrans CoversComponent of %d: %v vs %v", v, got, want)
+		}
+	}
+}

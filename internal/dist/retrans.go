@@ -60,6 +60,7 @@ type retransQueue struct {
 
 type retransProtocol struct {
 	v      graph.ID
+	ix     *graph.Indexed
 	radius int
 	nbrs   []graph.ID
 	nbrPos map[graph.ID]int
@@ -71,14 +72,16 @@ type retransProtocol struct {
 	pendingCount int
 }
 
-func newRetransProtocol(v graph.ID, adj []graph.ID, note any, radius int) *retransProtocol {
+func newRetransProtocol(v graph.ID, idx int, ix *graph.Indexed, note any, radius int) *retransProtocol {
+	adj := ix.NeighborIDs(idx)
 	p := &retransProtocol{
 		v:      v,
+		ix:     ix,
 		radius: radius,
 		nbrs:   adj,
 		nbrPos: make(map[graph.ID]int, len(adj)),
 		best:   map[graph.ID]int32{v: 0},
-		info:   map[graph.ID]NodeInfo{v: {Node: v, Adj: adj, Note: note}},
+		info:   map[graph.ID]NodeInfo{v: {Node: v, Adj: adj, Note: note, idx: int32(idx)}},
 		queues: make([]retransQueue, len(adj)),
 	}
 	for i, u := range adj {
@@ -213,6 +216,10 @@ func (p *retransProtocol) Output() any {
 		Radius: p.radius,
 		recs:   make([]NodeInfo, 0, len(ids)),
 		dist:   make([]int32, 0, len(ids)),
+		// Every record originated in an index-carrying self record, so
+		// the rebuilt knowledge is index-ready too (no dedup bitmap,
+		// though: CoversComponent takes the position-map path).
+		snap: p.ix,
 	}
 	for _, id := range ids {
 		k.recs = append(k.recs, p.info[id])
@@ -236,7 +243,7 @@ func CollectBallsRetrans(g *graph.Graph, radius, budget int, notes map[graph.ID]
 	ix := graph.NewIndexed(g)
 	eng := NewEngineIndexed(ix, func(v graph.ID) Protocol {
 		i, _ := ix.IndexOf(v)
-		return newRetransProtocol(v, ix.NeighborIDs(i), notes[v], radius)
+		return newRetransProtocol(v, i, ix, notes[v], radius)
 	})
 	eng.Observer = o
 	eng.Faults = f
