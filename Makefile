@@ -22,10 +22,11 @@ lint:
 # Race-detector gate for the concurrent simulation core and everything
 # that drives it: the engine (dist), the algorithm core, peeling, the
 # experiment harness, the public API, the graph substrate whose Indexed
-# snapshots are shared across the worker pool, and the CSR ball views
-# the parallel decide kernel reads concurrently.
+# snapshots are shared across the worker pool, the CSR ball views the
+# parallel decide kernel reads concurrently, and the clique-tree stage
+# the pipeline shards.
 race:
-	$(GO) test -race ./internal/dist ./internal/core ./internal/peel ./internal/exp ./internal/graph ./internal/view .
+	$(GO) test -race ./internal/dist ./internal/core ./internal/peel ./internal/exp ./internal/graph ./internal/view ./internal/cliquetree .
 
 # Short fuzz runs of every Fuzz* target (10s each) so the fuzzers
 # execute somewhere instead of shipping as dormant seed-corpus tests.
@@ -42,28 +43,37 @@ fuzz-smoke:
 ci: build vet lint race test chaos-smoke bench-compare
 
 # Quick-mode benchmark smoke: one iteration of the substrate and
-# experiment benchmarks, with allocation reporting. Finishes in minutes.
+# experiment benchmarks plus the 20k-node end-to-end pipeline, with
+# allocation reporting. Finishes in minutes.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineRound|BenchmarkFloodRadius|BenchmarkFloodN100k|BenchmarkFloodBallCollection|BenchmarkDistributedPruneN256|BenchmarkE[0-9]+_' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineRound|BenchmarkFloodRadius|BenchmarkFloodN100k|BenchmarkFloodBallCollection|BenchmarkDistributedPruneN256|BenchmarkPipelineN20k|BenchmarkE[0-9]+_' -benchtime 1x -benchmem .
 
 # Full benchmark sweep (slow).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # Machine-readable benchmark record: the engine/flood/prune/peel
-# benchmarks through `go test -json`, post-processed by cmd/benchjson
-# into the repo's perf-trajectory format. BENCH_5.json in the repo root
-# is a recorded run of exactly this target.
-BENCHJSON_OUT ?= BENCH_5.json
+# benchmarks plus the 100k-node stage benchmarks and the end-to-end
+# pipelines (20k smoke, 1M headline) through `go test -json`,
+# post-processed by cmd/benchjson into the repo's perf-trajectory
+# format. BENCH_6.json in the repo root is a recorded run of exactly
+# this target.
+# The substrate and stage/pipeline sweeps run as two separate `go test`
+# processes (benchjson accepts the concatenated streams): the 10^6-node
+# pipeline leaves a multi-GB heap behind, and sharing a process would
+# taint the substrate numbers recorded under BENCH_5's conditions.
+BENCHJSON_OUT ?= BENCH_6.json
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineRound|BenchmarkFloodRadius|BenchmarkFloodN100k|BenchmarkFloodBallCollection|BenchmarkDistributedPruneN256|BenchmarkPeelingN4096' \
-		-benchmem -json . | $(GO) run ./cmd/benchjson -out $(BENCHJSON_OUT)
+	( $(GO) test -run '^$$' -bench 'BenchmarkEngineRound|BenchmarkFloodRadius|BenchmarkFloodN100k|BenchmarkFloodBallCollection|BenchmarkDistributedPruneN256|BenchmarkPeelingN4096' \
+		-benchmem -json . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkPeelingN100k|BenchmarkMISStageN100k|BenchmarkCorrectionPhaseN100k|BenchmarkPipelineN20k|BenchmarkPipelineN1M' \
+		-benchmem -json -timeout 2h . ) | $(GO) run ./cmd/benchjson -out $(BENCHJSON_OUT)
 
 # Per-benchmark ns/op, B/op, allocs/op deltas between the two most
-# recent recorded runs. >10% ns/op regressions print a warning to
-# stderr but never fail the target — this is a trend report, not a
+# recent recorded runs. >10% regressions on any metric print a warning
+# to stderr but never fail the target — this is a trend report, not a
 # gate; missing record files skip the comparison cleanly.
-BENCHJSON_BASE ?= BENCH_4.json
+BENCHJSON_BASE ?= BENCH_5.json
 bench-compare:
 	$(GO) run ./cmd/benchjson compare $(BENCHJSON_BASE) $(BENCHJSON_OUT)
 

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/colorreduce"
 	"repro/internal/core"
@@ -180,6 +181,120 @@ func BenchmarkPeelingN4096(b *testing.B) {
 		}
 	}
 }
+
+// CSR-takeover stage benchmarks (DESIGN.md "CSR takeover"): the peeling,
+// correction, and MIS stages at n=100k, and the full (1+ε) coloring+MIS
+// pipeline at 20k (CI smoke) and million-node scale. The large instances
+// come from gen.RandomChordalSubtree, the linear-time subtree-intersection
+// generator, and are cached across benchmarks of one invocation.
+
+var benchInstances sync.Map
+
+// subtreeGraph returns the cached n-node benchmark instance, generating
+// it on first use under a generation-time budget: the generator is
+// O(n+m), so even the million-node instance must come up in seconds —
+// if generation blows the budget, the benchmark setup itself has
+// regressed and the run fails loudly instead of silently measuring it.
+func subtreeGraph(b *testing.B, n int, seed int64) *graph.Graph {
+	b.Helper()
+	key := fmt.Sprintf("subtree/%d/%d", n, seed)
+	if g, ok := benchInstances.Load(key); ok {
+		return g.(*graph.Graph)
+	}
+	start := time.Now()
+	g := gen.RandomChordalSubtree(n, 3, 6, seed)
+	if elapsed := time.Since(start); elapsed > time.Minute {
+		b.Fatalf("instance generation budget exceeded: n=%d took %v (budget 1m)", n, elapsed)
+	}
+	benchInstances.Store(key, g)
+	return g
+}
+
+func BenchmarkPeelingN100k(b *testing.B) {
+	g := subtreeGraph(b, 100_000, 61)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := peel.Run(g, peel.Options{InternalDiameter: 12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMISStageN100k(b *testing.B) {
+	g := subtreeGraph(b, 100_000, 61)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MISChordal(g, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// correctionInputs builds a deterministic correction-phase workload on a
+// large-diameter chordal graph (the E4 hub tree: radius-(k+5) finality
+// floods stay local, as in the real pipeline where Lemma 10 bounds the
+// correction horizon). Layers come from a real peel; each node's parent
+// is its smallest higher-layer neighbor, matching the Definition-1
+// parent's shape.
+func correctionInputs(b *testing.B, g *graph.Graph) (map[graph.ID]int, map[graph.ID]graph.ID, map[graph.ID]int) {
+	b.Helper()
+	peeled, err := peel.Run(g, peel.Options{InternalDiameter: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	layer := peeled.NodeLayers()
+	parent := make(map[graph.ID]graph.ID)
+	colors := make(map[graph.ID]int)
+	for _, v := range g.Nodes() {
+		colors[v] = int(v) % 5
+		best := graph.ID(-1)
+		for _, u := range g.Neighbors(v) {
+			if layer[u] > layer[v] && (best < 0 || u < best) {
+				best = u
+			}
+		}
+		if best >= 0 {
+			parent[v] = best
+		}
+	}
+	return layer, parent, colors
+}
+
+func BenchmarkCorrectionPhaseN100k(b *testing.B) {
+	g := gen.HubTree(11, 20) // ~98k nodes, diameter ≈ depth×chainLen
+	layer, parent, colors := correctionInputs(b, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunCorrectionPhase(g, layer, parent, colors, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPipeline(b *testing.B, g *graph.Graph) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ColorChordal(g, 0.5); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.MISChordal(g, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineN20k is the CI-sized smoke variant of the million-node
+// pipeline benchmark (make bench-smoke).
+func BenchmarkPipelineN20k(b *testing.B) { benchPipeline(b, subtreeGraph(b, 20_000, 42)) }
+
+// BenchmarkPipelineN1M is the headline workload: the full (1+ε)
+// coloring + MIS pipeline on a million-node random chordal graph.
+func BenchmarkPipelineN1M(b *testing.B) { benchPipeline(b, subtreeGraph(b, 1_000_000, 42)) }
 
 // broadcastProtocol is a minimal fixed-round protocol for engine
 // benchmarks: every node broadcasts its ID each round and sums its inbox,

@@ -9,8 +9,8 @@ import (
 	"strings"
 )
 
-// regressionWarnThreshold is the fractional ns/op increase above which
-// compare prints a (non-fatal) regression warning.
+// regressionWarnThreshold is the fractional increase in ns/op, B/op, or
+// allocs/op above which compare prints a (non-fatal) regression warning.
 const regressionWarnThreshold = 0.10
 
 // compareRow is one benchmark's old-vs-new delta. A nil side means the
@@ -92,11 +92,15 @@ func compareRecords(oldRec, newRec *Record) []compareRow {
 	return rows
 }
 
-// writeCompare renders the comparison table to w and any regression
-// warnings to warn. It returns the number of warnings issued.
+// writeCompare renders the comparison table to w, any regression
+// warnings to warn, and a one-line PASS/FAIL summary to w. It returns
+// the number of warnings issued. All three metrics — ns/op, B/op,
+// allocs/op — warn past the threshold, so allocation regressions are as
+// visible as timing ones.
 func writeCompare(w, warn io.Writer, oldName, newName string, rows []compareRow) int {
 	fmt.Fprintf(w, "benchmark comparison: %s -> %s\n", oldName, newName)
 	warnings := 0
+	compared := 0
 	for _, row := range rows {
 		switch {
 		case row.Old == nil:
@@ -106,6 +110,7 @@ func writeCompare(w, warn io.Writer, oldName, newName string, rows []compareRow)
 			fmt.Fprintf(w, "%-40s only in %s\n", row.Name, oldName)
 			continue
 		}
+		compared++
 		fmt.Fprintf(w, "%s\n", row.Name)
 		for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
 			ov, oOK := metric(row.Old, unit)
@@ -119,12 +124,19 @@ func writeCompare(w, warn io.Writer, oldName, newName string, rows []compareRow)
 				continue
 			}
 			fmt.Fprintf(w, "  %-10s %14.0f -> %14.0f  %+7.1f%%\n", unit, ov, nv, 100*d)
-			if unit == "ns/op" && d > regressionWarnThreshold {
-				fmt.Fprintf(warn, "benchjson: WARNING: %s ns/op regressed %.1f%% (%s -> %s)\n",
-					row.Name, 100*d, oldName, newName)
+			if d > regressionWarnThreshold {
+				fmt.Fprintf(warn, "benchjson: WARNING: %s %s regressed %.1f%% (%s -> %s)\n",
+					row.Name, unit, 100*d, oldName, newName)
 				warnings++
 			}
 		}
+	}
+	if warnings == 0 {
+		fmt.Fprintf(w, "PASS: %d benchmarks compared, no metric regressed >%.0f%%\n",
+			compared, 100*regressionWarnThreshold)
+	} else {
+		fmt.Fprintf(w, "FAIL: %d metric regression(s) >%.0f%% across %d benchmarks (non-fatal)\n",
+			warnings, 100*regressionWarnThreshold, compared)
 	}
 	return warnings
 }

@@ -61,7 +61,7 @@ func TestWriteCompareImprovementNoWarning(t *testing.T) {
 		t.Fatalf("got %d warnings, want 0; stderr:\n%s", n, warn.String())
 	}
 	text := out.String()
-	for _, want := range []string{"Prune", "ns/op", "-60.0%", "B/op", "allocs/op"} {
+	for _, want := range []string{"Prune", "ns/op", "-60.0%", "B/op", "allocs/op", "PASS: 1 benchmarks compared"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("output missing %q:\n%s", want, text)
 		}
@@ -77,8 +77,30 @@ func TestWriteCompareRegressionWarns(t *testing.T) {
 	if n := writeCompare(&out, &warn, "old.json", "new.json", rows); n != 1 {
 		t.Fatalf("got %d warnings, want 1; stderr:\n%s", n, warn.String())
 	}
-	if !strings.Contains(warn.String(), "regressed 15.0%") {
+	if !strings.Contains(warn.String(), "ns/op regressed 15.0%") {
 		t.Errorf("warning text: %q", warn.String())
+	}
+	if !strings.Contains(out.String(), "FAIL: 1 metric regression(s)") {
+		t.Errorf("summary line missing from:\n%s", out.String())
+	}
+}
+
+// TestWriteCompareMemoryRegressionWarns: B/op and allocs/op regressions
+// warn like timing ones — the CSR-takeover work is largely about
+// allocation behavior, so the compare gate must see it move.
+func TestWriteCompareMemoryRegressionWarns(t *testing.T) {
+	rows := compareRecords(
+		rec(Benchmark{Name: "Flood-8", NsPerOp: 100, Metrics: map[string]float64{"B/op": 1000, "allocs/op": 100}}),
+		rec(Benchmark{Name: "Flood-8", NsPerOp: 101, Metrics: map[string]float64{"B/op": 1300, "allocs/op": 140}}),
+	)
+	var out, warn strings.Builder
+	if n := writeCompare(&out, &warn, "old.json", "new.json", rows); n != 2 {
+		t.Fatalf("got %d warnings, want 2; stderr:\n%s", n, warn.String())
+	}
+	for _, want := range []string{"B/op regressed 30.0%", "allocs/op regressed 40.0%"} {
+		if !strings.Contains(warn.String(), want) {
+			t.Errorf("warning output missing %q:\n%s", want, warn.String())
+		}
 	}
 }
 

@@ -1,0 +1,135 @@
+package chordal
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// CliqueNumberIndexed is CliqueNumber on a CSR snapshot: one packed-heap
+// MCS pass, a Tarjan–Yannakakis chordality check, and ω as the largest
+// 1 + |Γ_later(v)| over the elimination order. The MCS tie-break need
+// not match CliqueNumber's (ω is an invariant of the graph, and the
+// verification accepts exactly the chordal graphs either way), so the
+// returned value and the error text are identical to CliqueNumber(g) on
+// the snapshot's source graph.
+func CliqueNumberIndexed(ix *graph.Indexed) (int, error) {
+	n := ix.NumNodes()
+	if n == 0 {
+		return 0, nil
+	}
+	weight := make([]int32, n)
+	pos := make([]int32, n)
+	order := make([]int32, n)
+	visited := make([]bool, n)
+	// Max-heap on (weight<<32 | n-1-idx): pop yields max weight, min
+	// index. Seeding in ascending index order appends descending keys,
+	// so each initial push sifts in O(1).
+	heap := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		heap = alphaHeapPushChordal(heap, uint64(n-1-i))
+	}
+	for i := n - 1; i >= 0; i-- {
+		var v int32
+		for {
+			top := heap[0]
+			heap = alphaHeapPopChordal(heap)
+			w := int32(top >> 32)
+			idx := int32(n-1) - int32(top&0xffffffff)
+			if visited[idx] || weight[idx] != w {
+				continue
+			}
+			v = idx
+			break
+		}
+		order[i] = v
+		pos[v] = int32(i)
+		visited[v] = true
+		for _, u := range ix.NeighborIndices(int(v)) {
+			if visited[u] {
+				continue
+			}
+			weight[u]++
+			heap = alphaHeapPushChordal(heap, uint64(weight[u])<<32|uint64(int32(n-1)-u))
+		}
+	}
+	// Tarjan–Yannakakis: for each v in order, the later neighbors minus
+	// the min-position one must all neighbor that one.
+	mark := make([]int32, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		v := order[i]
+		var u int32 = -1
+		uPos := int32(n)
+		for _, w := range ix.NeighborIndices(int(v)) {
+			if pos[w] > int32(i) && pos[w] < uPos {
+				uPos = pos[w]
+				u = w
+			}
+		}
+		if u < 0 {
+			continue
+		}
+		for _, w := range ix.NeighborIndices(int(u)) {
+			mark[w] = int32(i)
+		}
+		for _, w := range ix.NeighborIndices(int(v)) {
+			if pos[w] > int32(i) && w != u && mark[w] != int32(i) {
+				return 0, fmt.Errorf("graph is not chordal (n=%d, m=%d)", n, ix.NumEdges())
+			}
+		}
+	}
+	best := 1
+	for i := 0; i < n; i++ {
+		v := order[i]
+		size := 1
+		for _, u := range ix.NeighborIndices(int(v)) {
+			if pos[u] > int32(i) {
+				size++
+			}
+		}
+		if size > best {
+			best = size
+		}
+	}
+	return best, nil
+}
+
+func alphaHeapPushChordal(h []uint64, key uint64) []uint64 {
+	h = append(h, key)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] >= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func alphaHeapPopChordal(h []uint64) []uint64 {
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < last && h[l] > h[big] {
+			big = l
+		}
+		if r < last && h[r] > h[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+	return h
+}

@@ -1,0 +1,55 @@
+package chordal
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestCliqueNumberIndexedMatches(t *testing.T) {
+	cases := []*graph.Graph{
+		graph.New(),
+		gen.Path(1),
+		gen.Path(25),
+		gen.Star(9),
+		gen.Complete(7),
+		gen.Caterpillar(8, 3),
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		cases = append(cases,
+			gen.RandomChordal(80, gen.ChordalOpts{MaxCliqueSize: 5, AttachFull: 0.4}, seed),
+			gen.KTree(50, 3, seed),
+			gen.Tree(60, seed),
+			gen.RandomChordalSubtree(120, 3, 5, seed),
+		)
+	}
+	for i, g := range cases {
+		want, err := CliqueNumber(g)
+		if err != nil {
+			t.Fatalf("case %d: reference: %v", i, err)
+		}
+		got, err := CliqueNumberIndexed(graph.NewIndexed(g))
+		if err != nil {
+			t.Fatalf("case %d: indexed: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("case %d: ω = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestCliqueNumberIndexedNonChordal(t *testing.T) {
+	g := gen.Cycle(6)
+	_, wantErr := CliqueNumber(g)
+	if wantErr == nil {
+		t.Fatal("reference accepted C6")
+	}
+	_, err := CliqueNumberIndexed(graph.NewIndexed(g))
+	if err == nil {
+		t.Fatal("indexed accepted C6")
+	}
+	if err.Error() != wantErr.Error() {
+		t.Fatalf("error text %q vs %q", err, wantErr)
+	}
+}

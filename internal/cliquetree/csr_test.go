@@ -1,0 +1,174 @@
+package cliquetree
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// forestsEqual compares two forests structurally: same cliques in the
+// same order, same adjacency, same phi rows.
+func forestsEqual(t *testing.T, want, got *Forest) {
+	t.Helper()
+	if want.NumVertices() != got.NumVertices() {
+		t.Fatalf("clique count %d vs %d", got.NumVertices(), want.NumVertices())
+	}
+	for i := 0; i < want.NumVertices(); i++ {
+		if want.Clique(i).Compare(got.Clique(i)) != 0 {
+			t.Fatalf("clique %d: %v vs %v", i, got.Clique(i), want.Clique(i))
+		}
+		wn, gn := want.Neighbors(i), got.Neighbors(i)
+		if len(wn) != len(gn) {
+			t.Fatalf("degree of clique %d: %v vs %v", i, gn, wn)
+		}
+		for j := range wn {
+			if wn[j] != gn[j] {
+				t.Fatalf("adjacency of clique %d: %v vs %v", i, gn, wn)
+			}
+		}
+	}
+	for v, wp := range want.phi {
+		gp := got.Phi(v)
+		if len(wp) != len(gp) {
+			t.Fatalf("phi(%d): %v vs %v", v, gp, wp)
+		}
+		for j := range wp {
+			if wp[j] != gp[j] {
+				t.Fatalf("phi(%d): %v vs %v", v, gp, wp)
+			}
+		}
+	}
+	if len(got.phi) != len(want.phi) {
+		t.Fatalf("phi size %d vs %d", len(got.phi), len(want.phi))
+	}
+}
+
+func buildCSR(t *testing.T, g *graph.Graph) *Forest {
+	t.Helper()
+	ix := graph.NewIndexed(g)
+	b := NewBuilder(ix)
+	var f CSRForest
+	if err := b.Build(nil, ix.NumNodes(), &f); err != nil {
+		t.Fatalf("csr build: %v", err)
+	}
+	return ToForest(&f, ix.IDs())
+}
+
+func TestCSRBuilderMatchesNew(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"empty":       graph.New(),
+		"single":      gen.Path(1),
+		"path":        gen.Path(30),
+		"star":        gen.Star(12),
+		"complete":    gen.Complete(8),
+		"caterpillar": gen.Caterpillar(10, 3),
+		"hubtree":     gen.HubTree(3, 4),
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		cases["chordal"+string(rune('0'+seed))] = gen.RandomChordal(80, gen.ChordalOpts{MaxCliqueSize: 5, AttachFull: 0.4}, seed)
+		cases["ktree"+string(rune('0'+seed))] = gen.KTree(50, 3, seed)
+		cases["tree"+string(rune('0'+seed))] = gen.Tree(60, seed)
+		cases["subtree"+string(rune('0'+seed))] = gen.RandomChordalSubtree(120, 3, 5, seed)
+		cases["interval"+string(rune('0'+seed))] = gen.RandomInterval(60, 20, 3, seed)
+	}
+	for name, g := range cases {
+		want, err := New(g)
+		if err != nil {
+			t.Fatalf("%s: reference build: %v", name, err)
+		}
+		forestsEqual(t, want, buildCSR(t, g))
+	}
+}
+
+// TestCSRBuilderAliveMask peels an arbitrary node subset away and checks
+// the masked build equals a fresh build of the induced subgraph — the
+// exact reuse pattern of the peeling process.
+func TestCSRBuilderAliveMask(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := gen.RandomChordal(100, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.4}, seed)
+		ix := graph.NewIndexed(g)
+		n := ix.NumNodes()
+		alive := make([]bool, n)
+		var kept graph.Set
+		nAlive := 0
+		for i := 0; i < n; i++ {
+			// Drop every third node: the survivors keep a chordal graph
+			// (every induced subgraph of a chordal graph is chordal).
+			if i%3 != 0 {
+				alive[i] = true
+				kept = append(kept, ix.IDOf(i))
+				nAlive++
+			}
+		}
+		want, err := New(g.InducedSubgraph(kept))
+		if err != nil {
+			t.Fatalf("seed %d: reference build: %v", seed, err)
+		}
+		b := NewBuilder(ix)
+		var f CSRForest
+		if err := b.Build(alive, nAlive, &f); err != nil {
+			t.Fatalf("seed %d: csr build: %v", seed, err)
+		}
+		forestsEqual(t, want, ToForest(&f, ix.IDs()))
+	}
+}
+
+// TestCSRBuilderReuse rebuilds with the same Builder across shrinking
+// masks, checking scratch reuse does not leak state between builds.
+func TestCSRBuilderReuse(t *testing.T) {
+	g := gen.RandomChordalSubtree(150, 3, 5, 9)
+	ix := graph.NewIndexed(g)
+	n := ix.NumNodes()
+	b := NewBuilder(ix)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	nAlive := n
+	var f CSRForest
+	for cut := 0; cut < 3; cut++ {
+		var kept graph.Set
+		for i := 0; i < n; i++ {
+			if alive[i] {
+				kept = append(kept, ix.IDOf(i))
+			}
+		}
+		want, err := New(g.InducedSubgraph(kept))
+		if err != nil {
+			t.Fatalf("cut %d: reference: %v", cut, err)
+		}
+		if err := b.Build(alive, nAlive, &f); err != nil {
+			t.Fatalf("cut %d: csr: %v", cut, err)
+		}
+		forestsEqual(t, want, ToForest(&f, ix.IDs()))
+		// Remove the members of every clique that is a forest leaf.
+		for c := 0; c < f.NumCliques && nAlive > 10; c++ {
+			if f.Deg(int32(c)) <= 1 {
+				for _, v := range f.Clique(int32(c)) {
+					if alive[v] && nAlive > 10 {
+						alive[v] = false
+						nAlive--
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCSRBuilderNonChordalError(t *testing.T) {
+	g := gen.Cycle(5)
+	_, wantErr := New(g)
+	if wantErr == nil {
+		t.Fatal("reference accepted C5")
+	}
+	ix := graph.NewIndexed(g)
+	var f CSRForest
+	err := NewBuilder(ix).Build(nil, ix.NumNodes(), &f)
+	if err == nil {
+		t.Fatal("csr build accepted C5")
+	}
+	if err.Error() != wantErr.Error() {
+		t.Fatalf("error text %q vs %q", err.Error(), wantErr.Error())
+	}
+}

@@ -50,7 +50,7 @@ func ColorChordal(g *graph.Graph, eps float64) (*ChordalColoring, error) {
 		return nil, fmt.Errorf("epsilon must be positive, got %v", eps)
 	}
 	k := EffectiveK(eps)
-	res, err := peel.Run(g, peel.Options{InternalDiameter: 3 * k})
+	res, err := peel.Run(g, peel.Options{InternalDiameter: 3 * k, NoForests: true})
 	if err != nil {
 		return nil, fmt.Errorf("pruning phase: %w", err)
 	}
@@ -66,7 +66,7 @@ func colorLayers(g *graph.Graph, k int, peeled *peel.Result, rounds *int) (*Chor
 		K:      k,
 		Layers: len(peeled.Layers),
 	}
-	omega, err := chordal.CliqueNumber(g)
+	omega, err := chordal.CliqueNumberIndexed(graph.NewIndexed(g))
 	if err != nil {
 		return nil, err
 	}
@@ -81,21 +81,44 @@ func colorLayers(g *graph.Graph, k int, peeled *peel.Result, rounds *int) (*Chor
 
 	// Coloring phase: every peeled path is an interval graph, colored
 	// independently by ColIntGraph. Paths run concurrently in the LOCAL
-	// model; we charge the maximum cost.
+	// model; we charge the maximum cost. Each path's coloring is a pure
+	// function of (g, rec, k, idBound), so the paths shard over workers
+	// with per-path result slots merged in path order — bit-identical to
+	// the sequential loop for every worker count, including which error
+	// surfaces first.
+	type pathRef struct {
+		layerIndex int
+		rec        *peel.PathRecord
+	}
+	var refs []pathRef
+	for li := range peeled.Layers {
+		layer := &peeled.Layers[li]
+		for pi := range layer.Paths {
+			refs = append(refs, pathRef{layer.Index, &layer.Paths[pi]})
+		}
+	}
+	type colorSlot struct {
+		ic  *IntervalColoring
+		err error
+	}
+	slots := make([]colorSlot, len(refs))
+	runStageRanges(len(refs), resolveStageWorkers(0, len(refs)), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sub := g.InducedSubgraph(refs[i].rec.Nodes)
+			ic, err := ColIntGraph(sub, peel.LayerCliquePath(*refs[i].rec), k, idBound)
+			slots[i] = colorSlot{ic: ic, err: err}
+		}
+	})
 	maxColorRounds := 0
-	for _, layer := range peeled.Layers {
-		for _, rec := range layer.Paths {
-			sub := g.InducedSubgraph(rec.Nodes)
-			ic, err := ColIntGraph(sub, peel.LayerCliquePath(rec), k, idBound)
-			if err != nil {
-				return nil, fmt.Errorf("coloring layer %d: %w", layer.Index, err)
-			}
-			for v, c := range ic.Colors {
-				out.Colors[v] = c
-			}
-			if ic.Rounds > maxColorRounds {
-				maxColorRounds = ic.Rounds
-			}
+	for i := range slots {
+		if slots[i].err != nil {
+			return nil, fmt.Errorf("coloring layer %d: %w", refs[i].layerIndex, slots[i].err)
+		}
+		for v, c := range slots[i].ic.Colors {
+			out.Colors[v] = c
+		}
+		if slots[i].ic.Rounds > maxColorRounds {
+			maxColorRounds = slots[i].ic.Rounds
 		}
 	}
 	if rounds != nil {

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"slices"
+	"sort"
 
 	"repro/internal/dist"
 	"repro/internal/graph"
@@ -16,38 +16,73 @@ import (
 // parent's (k+5)-ball knowledge), which finalizes them in turn. The
 // engine measures the real asynchronous schedule length (the induction of
 // Lemma 12).
+//
+// Protocol state is precomputed into shared index-space slabs resolved
+// through the engine's CSR snapshot: messages carry int32 snapshot
+// indices, each node's child groups and finality gates are contiguous
+// slab ranges, and the per-node dedup sets are open-addressing IdxSets
+// instead of map[graph.ID]bool. Children within a (parent, layer) group
+// are sent SetColor in ascending index order, which fixes one
+// deterministic send schedule (the map-backed predecessor iterated a Go
+// map here, so its fault coordinates varied run to run).
+
+// Both message kinds carry an absolute expiry step instead of a
+// decrementing TTL: a message originated at step r with flooding budget
+// ttl expires at step r+ttl+1, and a receiver processing it at step s
+// relays iff Expire−s > 1 — the same predicate as decrementing a TTL
+// from ttl and relaying while it exceeds 1, because the engine delivers
+// every message exactly one hop per step (fault delays add synchronizer
+// stall, not delivery latency). The payoff: a relay re-broadcasts the
+// received boxed payload verbatim, so the flood's dominant path
+// allocates nothing.
 
 type finalMsg struct {
-	Origin graph.ID
-	TTL    int
+	Origin int32 // snapshot index of the finalized node
+	Expire int32
 }
 
 type setColorMsg struct {
-	Target graph.ID
+	Target int32 // snapshot index of the recolored child
 	Color  int
-	TTL    int
+	Expire int32
+}
+
+// corrGroup is one (parent, layer) child group: the children to recolor
+// and the finality gate, both as ranges into the shared slabs.
+type corrGroup struct {
+	layer            int32
+	kidOff, kidEnd   int32 // range into corrShared.kidIdx / kidColor
+	gateOff, gateEnd int32 // range into corrShared.gates
+}
+
+// corrShared is the read-only precomputed state shared by every
+// correctionNode of one engine run.
+type corrShared struct {
+	groups   []corrGroup
+	kidIdx   []int32 // children, ascending index within each group
+	kidColor []int   // the Lemma-10 color each child receives
+	gates    []int32 // sorted, deduped gate node indices per group
 }
 
 // correctionNode is one node's state machine for the correction phase.
 type correctionNode struct {
-	id        graph.ID
+	sh        *corrShared
+	idx       int32
 	hasParent bool
 	final     bool
 	ttl       int // flooding TTL: k+5
 
-	// children[l] lists this node's children in layer l, descending l.
-	childLayers []int
-	children    map[int][]graph.ID
-	// need[l] is the set of nodes whose finality gates correcting layer l.
-	need map[int]map[graph.ID]bool
-	// assign holds the colors this parent will hand to its children
-	// (its local Lemma-10 computation, precomputed).
-	assign map[graph.ID]int
+	// This node's child groups are sh.groups[gOff:gEnd], descending
+	// layer (CorrectChildren processes lv−1 … 1); pendingAt is the next
+	// group to correct.
+	gOff, gEnd int32
+	pendingAt  int32
 
-	seenFinal map[graph.ID]bool
-	seenSet   map[graph.ID]bool
-	finals    map[graph.ID]bool
-	pendingAt int // index into childLayers of the next layer to correct
+	// seenFinal doubles as the finality gate set: the choreography only
+	// ever records a node as final when it first sees (or originates)
+	// its announcement, so the two sets coincide.
+	seenFinal dist.IdxSet
+	seenSet   dist.IdxSet
 }
 
 func (c *correctionNode) Init(ctx *dist.Context) {
@@ -58,72 +93,70 @@ func (c *correctionNode) Init(ctx *dist.Context) {
 	c.tryCorrect(ctx)
 }
 
+// QuiescentRound declares that an empty-inbox Round call is a no-op:
+// every enabled SetColor is drained by the tryCorrect at the end of the
+// step that enabled it, so progress is driven entirely by received
+// messages and the engine may skip idle nodes.
+func (c *correctionNode) QuiescentRound() {}
+
 func (c *correctionNode) announce(ctx *dist.Context) {
-	if c.seenFinal[c.id] {
-		return
+	if c.seenFinal.Add(c.idx) {
+		ctx.Broadcast(finalMsg{Origin: c.idx, Expire: int32(ctx.Round()) + int32(c.ttl) + 1})
 	}
-	c.seenFinal[c.id] = true
-	c.finals[c.id] = true
-	ctx.Broadcast(finalMsg{Origin: c.id, TTL: c.ttl})
 }
 
 func (c *correctionNode) Round(ctx *dist.Context, inbox []dist.Message) {
+	rnd := int32(ctx.Round())
 	for _, m := range inbox {
 		switch msg := m.Payload.(type) {
 		case finalMsg:
-			c.finals[msg.Origin] = true
-			if !c.seenFinal[msg.Origin] {
-				c.seenFinal[msg.Origin] = true
-				if msg.TTL > 1 {
-					ctx.Broadcast(finalMsg{Origin: msg.Origin, TTL: msg.TTL - 1})
-				}
+			if c.seenFinal.Add(msg.Origin) && msg.Expire-rnd > 1 {
+				ctx.Broadcast(m.Payload)
 			}
 		case setColorMsg:
-			if msg.Target == c.id {
+			if msg.Target == c.idx {
 				if !c.final {
 					c.final = true
 					c.announce(ctx)
 				}
 				continue
 			}
-			if !c.seenSet[msg.Target] {
-				c.seenSet[msg.Target] = true
-				if msg.TTL > 1 {
-					ctx.Broadcast(setColorMsg{Target: msg.Target, Color: msg.Color, TTL: msg.TTL - 1})
-				}
+			if c.seenSet.Add(msg.Target) && msg.Expire-rnd > 1 {
+				ctx.Broadcast(m.Payload)
 			}
 		}
 	}
 	c.tryCorrect(ctx)
 }
 
-// tryCorrect sends SetColor for the next child layers whose gates are
-// satisfied. Layers are processed top-down, as in CorrectChildren.
+// tryCorrect sends SetColor for the next child groups whose gates are
+// satisfied. Groups are processed top-down, as in CorrectChildren.
 func (c *correctionNode) tryCorrect(ctx *dist.Context) {
 	if !c.final {
 		return
 	}
-	for c.pendingAt < len(c.childLayers) {
-		l := c.childLayers[c.pendingAt]
-		for v := range c.need[l] {
-			if !c.finals[v] {
+	for c.pendingAt < c.gEnd-c.gOff {
+		grp := &c.sh.groups[c.gOff+c.pendingAt]
+		for _, u := range c.sh.gates[grp.gateOff:grp.gateEnd] {
+			if !c.seenFinal.Has(u) {
 				return
 			}
 		}
-		for _, child := range c.children[l] {
-			ctx.Broadcast(setColorMsg{Target: child, Color: c.assign[child], TTL: c.ttl})
+		for j := grp.kidOff; j < grp.kidEnd; j++ {
+			ctx.Broadcast(setColorMsg{Target: c.sh.kidIdx[j], Color: c.sh.kidColor[j], Expire: int32(ctx.Round()) + int32(c.ttl) + 1})
 		}
 		c.pendingAt++
 	}
 }
 
-func (c *correctionNode) Done() bool  { return c.final && c.pendingAt >= len(c.childLayers) }
+func (c *correctionNode) Done() bool  { return c.final && c.pendingAt >= c.gEnd-c.gOff }
 func (c *correctionNode) Output() any { return c.final }
 
 // RunCorrectionPhase executes the correction choreography on the LOCAL
 // engine. Inputs: the layer map and parent map from the pruning phase and
-// the final colors (each parent's local Lemma-10 result). It returns the
-// measured rounds of the asynchronous schedule.
+// the final colors (each parent's local Lemma-10 result); every node they
+// mention must be a node of g. It returns the measured rounds of the
+// asynchronous schedule.
 func RunCorrectionPhase(g *graph.Graph, layer map[graph.ID]int, parent map[graph.ID]graph.ID, finalColors map[graph.ID]int, k int) (int, error) {
 	return RunCorrectionPhaseObserved(g, layer, parent, finalColors, k, nil)
 }
@@ -140,45 +173,118 @@ func RunCorrectionPhaseObserved(g *graph.Graph, layer map[graph.ID]int, parent m
 // the corrected coloring untouched; dropped messages stall the
 // choreography and surface as the engine's did-not-terminate error.
 func RunCorrectionPhaseFaulty(g *graph.Graph, layer map[graph.ID]int, parent map[graph.ID]graph.ID, finalColors map[graph.ID]int, k int, o dist.RoundObserver, f *dist.Faults) (int, error) {
-	children := make(map[graph.ID]map[int][]graph.ID)
-	for child, p := range parent {
-		if children[p] == nil {
-			children[p] = make(map[int][]graph.ID)
-		}
-		l := layer[child]
-		children[p][l] = append(children[p][l], child)
+	ix := graph.NewIndexed(g)
+	n := ix.NumNodes()
+	ids := ix.IDs()
+	layerOf := make([]int32, n)
+	for i, v := range ids {
+		layerOf[i] = int32(layer[v])
 	}
-	eng := dist.NewEngine(g, func(v graph.ID) dist.Protocol {
-		node := &correctionNode{
-			id:        v,
-			hasParent: false,
-			ttl:       k + 5,
-			children:  children[v],
-			need:      make(map[int]map[graph.ID]bool),
-			assign:    make(map[graph.ID]int),
-			seenFinal: make(map[graph.ID]bool),
-			seenSet:   make(map[graph.ID]bool),
-			finals:    make(map[graph.ID]bool),
+
+	// Flatten the parent relation into (parent, layer desc, child asc)
+	// triples; contiguous runs become the per-parent child groups.
+	type kidRec struct{ p, l, c int32 }
+	hasParent := make([]bool, n)
+	kids := make([]kidRec, 0, len(parent))
+	for child, p := range parent {
+		ci, ok := ix.IndexOf(child)
+		if !ok {
+			continue
 		}
-		if _, ok := parent[v]; ok {
-			node.hasParent = true
+		hasParent[ci] = true
+		pi, ok := ix.IndexOf(p)
+		if !ok {
+			continue
 		}
-		for l, kids := range children[v] {
-			node.childLayers = append(node.childLayers, l)
-			gate := make(map[graph.ID]bool)
-			for _, child := range kids {
-				node.assign[child] = finalColors[child]
-				for _, u := range g.Neighbors(child) {
-					if layer[u] > l {
-						gate[u] = true
+		kids = append(kids, kidRec{int32(pi), layerOf[ci], int32(ci)})
+	}
+	sort.Slice(kids, func(i, j int) bool {
+		if kids[i].p != kids[j].p {
+			return kids[i].p < kids[j].p
+		}
+		if kids[i].l != kids[j].l {
+			return kids[i].l > kids[j].l
+		}
+		return kids[i].c < kids[j].c
+	})
+	kidIdx := make([]int32, len(kids))
+	kidColor := make([]int, len(kids))
+	for i, kr := range kids {
+		kidIdx[i] = kr.c
+		kidColor[i] = finalColors[ids[kr.c]]
+	}
+	var groups []corrGroup
+	var groupOwner []int32
+	for i := 0; i < len(kids); {
+		j := i
+		for j < len(kids) && kids[j].p == kids[i].p && kids[j].l == kids[i].l {
+			j++
+		}
+		groups = append(groups, corrGroup{layer: kids[i].l, kidOff: int32(i), kidEnd: int32(j)})
+		groupOwner = append(groupOwner, kids[i].p)
+		i = j
+	}
+	// groupOwner is ascending, so per-node group ranges fall out of one scan.
+	nodeGOff := make([]int32, n+1)
+	gi := 0
+	for v := 0; v < n; v++ {
+		nodeGOff[v] = int32(gi)
+		for gi < len(groups) && groupOwner[gi] == int32(v) {
+			gi++
+		}
+	}
+	nodeGOff[n] = int32(len(groups))
+
+	// Gate sets — the higher-layer neighbors of each group's children —
+	// are pure per-group computations over the snapshot: shard them with
+	// per-group result slots, then flatten in group order.
+	gateSlots := make([][]int32, len(groups))
+	runStageRanges(len(groups), resolveStageWorkers(0, len(groups)), func(lo, hi int) {
+		var buf []int32
+		for gi := lo; gi < hi; gi++ {
+			grp := &groups[gi]
+			buf = buf[:0]
+			for _, c := range kidIdx[grp.kidOff:grp.kidEnd] {
+				for _, u := range ix.NeighborIndices(int(c)) {
+					if layerOf[u] > grp.layer {
+						buf = append(buf, u)
 					}
 				}
 			}
-			node.need[l] = gate
+			sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+			out := make([]int32, 0, len(buf))
+			for i, u := range buf {
+				if i == 0 || u != buf[i-1] {
+					out = append(out, u)
+				}
+			}
+			gateSlots[gi] = out
 		}
-		// Descending layer order (CorrectChildren processes lv−1 … 1).
-		slices.SortFunc(node.childLayers, func(a, b int) int { return b - a })
-		return node
+	})
+	total := 0
+	for _, gs := range gateSlots {
+		total += len(gs)
+	}
+	gates := make([]int32, 0, total)
+	for gi := range groups {
+		groups[gi].gateOff = int32(len(gates))
+		gates = append(gates, gateSlots[gi]...)
+		groups[gi].gateEnd = int32(len(gates))
+	}
+	sh := &corrShared{groups: groups, kidIdx: kidIdx, kidColor: kidColor, gates: gates}
+
+	nodes := make([]correctionNode, n)
+	eng := dist.NewEngineIndexed(ix, func(v graph.ID) dist.Protocol {
+		i, _ := ix.IndexOf(v)
+		nodes[i] = correctionNode{
+			sh:        sh,
+			idx:       int32(i),
+			hasParent: hasParent[i],
+			ttl:       k + 5,
+			gOff:      nodeGOff[i],
+			gEnd:      nodeGOff[i+1],
+		}
+		return &nodes[i]
 	})
 	eng.Observer = o
 	eng.Faults = f
@@ -186,8 +292,8 @@ func RunCorrectionPhaseFaulty(g *graph.Graph, layer map[graph.ID]int, parent map
 	if err != nil {
 		return 0, fmt.Errorf("correction phase: %w", err)
 	}
-	for v, o := range res.Outputs {
-		if !o.(bool) {
+	for _, v := range ids {
+		if !res.Outputs[v].(bool) {
 			return 0, fmt.Errorf("node %d never finalized", v)
 		}
 	}

@@ -722,7 +722,7 @@ type decideResult struct {
 // RoundStart(0, shards), the per-shard Start/End brackets from the
 // workers, then RoundEnd with Done = the number of centers peeled, and
 // RunEnd — or no RoundEnd/RunEnd on error, like a failed engine run.
-func runDecideStage(ix *graph.Indexed, know map[graph.ID]*dist.Knowledge, cache *cliqueCache, sharedBall *view.Ball, scratches []*decideScratch, centers []int32, undecidedIdx []bool, undecided func(graph.ID) bool, rule decideRule, radius, workers int, o dist.RoundObserver, results []decideResult) ([]decideResult, error) {
+func runDecideStage(ix *graph.Indexed, know []*dist.Knowledge, cache *cliqueCache, sharedBall *view.Ball, scratches []*decideScratch, centers []int32, undecidedIdx []bool, undecided func(graph.ID) bool, rule decideRule, radius, workers int, o dist.RoundObserver, results []decideResult) ([]decideResult, error) {
 	n := len(centers)
 	shards := shardCount(n, workers)
 	if cap(results) < n {
@@ -741,7 +741,7 @@ func runDecideStage(ix *graph.Indexed, know map[graph.ID]*dist.Knowledge, cache 
 		for pos := lo; pos < hi; pos++ {
 			vIdx := centers[pos]
 			v := ids[vIdx]
-			peel, parent, err := decideOne(sc, cache, sharedBall, ix, know[v], undecidedIdx, undecided, v, vIdx, rule, radius)
+			peel, parent, err := decideOne(sc, cache, sharedBall, ix, know[vIdx], undecidedIdx, undecided, v, vIdx, rule, radius)
 			if err != nil {
 				errPos[shard] = pos
 				errs[shard] = err

@@ -61,6 +61,7 @@ func MISChordalWithOptions(g *graph.Graph, eps float64, opts ChordalMISOptions) 
 		InternalDiameter: 2*d + 3,
 		MaxIterations:    iterations,
 		FinalAlpha:       d,
+		NoForests:        true,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("peeling: %w", err)
@@ -118,6 +119,7 @@ func MISChordalDistributedFaulty(g *graph.Graph, eps float64, o dist.RoundObserv
 		MaxIterations:    iterations,
 		FinalAlpha:       d,
 		Trace:            peelTrace,
+		NoForests:        true,
 	})
 	if err != nil {
 		return nil, err
@@ -143,7 +145,13 @@ func MISChordalDistributedFaulty(g *graph.Graph, eps float64, o dist.RoundObserv
 }
 
 // misFromPeel runs Algorithm 6's per-layer independent-set computation
-// over a peel result, accumulating into res.
+// over a peel result, accumulating into res. Per-record state lives in
+// index-keyed slices over one CSR snapshot instead of map-backed induced
+// subgraphs, and the per-component computations — pure functions of
+// (g, h, rec) that never consult the cross-record blocked state — run
+// sharded over workers with per-component result slots merged in
+// component order, so the output is bit-identical to the sequential
+// map-backed loop for every worker count.
 func misFromPeel(g *graph.Graph, peeled *peel.Result, d int, eps float64, opts ChordalMISOptions, res *ChordalMISResult) error {
 	idBound := 1
 	for _, v := range g.Nodes() {
@@ -151,40 +159,106 @@ func misFromPeel(g *graph.Graph, peeled *peel.Result, d int, eps float64, opts C
 			idBound = int(v) + 1
 		}
 	}
+	ix := graph.NewIndexed(g)
+	ids := ix.IDs()
 	// Nodes excluded once a neighbor joins I (Γ_G[I] grows as we go).
-	blocked := make(map[graph.ID]bool)
+	blocked := make([]bool, idBound)
+	inAvail := make([]bool, ix.NumNodes())
+	inComp := make([]bool, ix.NumNodes())
+	var avail, queue []int32
+	var comps [][]int32
+	type compSlot struct {
+		ih     graph.Set
+		rounds int
+		exact  bool
+		err    error
+	}
+	var slots []compSlot
 	maxComponentRounds := 0
 	for li, layer := range peeled.Layers {
 		last := li == len(peeled.Layers)-1
 		for _, rec := range layer.Paths {
-			var avail []graph.ID
+			avail = avail[:0]
 			for _, v := range rec.Nodes {
-				if !blocked[v] {
-					avail = append(avail, v)
+				if int(v) < idBound && !blocked[v] {
+					i, _ := ix.IndexOf(v)
+					avail = append(avail, int32(i))
+					inAvail[i] = true
 				}
 			}
-			sub := g.InducedSubgraph(avail)
-			for _, comp := range sub.Components() {
-				h := sub.InducedSubgraph(comp)
-				ih, compRounds, exact, err := componentIS(g, h, rec, d, last, eps, idBound, opts)
-				if err != nil {
-					return fmt.Errorf("layer %d: %w", layer.Index, err)
+			// Components of G[avail], discovered from ascending indices:
+			// ordered by smallest member with sorted members, exactly as
+			// Components() on the induced subgraph.
+			comps = comps[:0]
+			for _, start := range avail {
+				if inComp[start] {
+					continue
 				}
-				if exact {
+				queue = queue[:0]
+				queue = append(queue, start)
+				inComp[start] = true
+				for i := 0; i < len(queue); i++ {
+					for _, u := range ix.NeighborIndices(int(queue[i])) {
+						if inAvail[u] && !inComp[u] {
+							inComp[u] = true
+							queue = append(queue, u)
+						}
+					}
+				}
+				comp := make([]int32, len(queue))
+				copy(comp, queue)
+				sort.Slice(comp, func(a, b int) bool { return comp[a] < comp[b] })
+				comps = append(comps, comp)
+			}
+			if cap(slots) < len(comps) {
+				slots = make([]compSlot, len(comps))
+			}
+			slots = slots[:len(comps)]
+			workers := resolveStageWorkers(0, len(comps))
+			recLocal := rec
+			runStageRanges(len(comps), workers, func(lo, hi int) {
+				for ci := lo; ci < hi; ci++ {
+					comp := comps[ci]
+					h := graph.New()
+					for _, i := range comp {
+						h.AddNode(ids[i])
+					}
+					for _, i := range comp {
+						for _, j := range ix.NeighborIndices(int(i)) {
+							// An available neighbor shares the component.
+							if inAvail[j] && j > i {
+								h.AddEdge(ids[i], ids[j])
+							}
+						}
+					}
+					ih, compRounds, exact, err := componentIS(g, h, recLocal, d, last, eps, idBound, opts)
+					slots[ci] = compSlot{ih: ih, rounds: compRounds, exact: exact, err: err}
+				}
+			})
+			for ci := range slots {
+				slot := &slots[ci]
+				if slot.err != nil {
+					return fmt.Errorf("layer %d: %w", layer.Index, slot.err)
+				}
+				if slot.exact {
 					res.ExactComponents++
 				} else {
 					res.ApproxComponents++
 				}
-				if compRounds > maxComponentRounds {
-					maxComponentRounds = compRounds
+				if slot.rounds > maxComponentRounds {
+					maxComponentRounds = slot.rounds
 				}
-				for _, v := range ih {
+				for _, v := range slot.ih {
 					res.Set = append(res.Set, v)
 					blocked[v] = true
-					for _, u := range g.Neighbors(v) {
+					g.ForEachNeighbor(v, func(u graph.ID) {
 						blocked[u] = true
-					}
+					})
 				}
+			}
+			for _, i := range avail {
+				inAvail[i] = false
+				inComp[i] = false
 			}
 		}
 	}
@@ -220,17 +294,23 @@ func componentIS(g *graph.Graph, h *graph.Graph, rec peel.PathRecord, d int, las
 
 // componentAnchor returns the attachment clique of the peeled path that
 // the component touches (at most one when α(H) < d, as argued in
-// Section 7.1), or nil.
+// Section 7.1), or nil. It walks adjacency via ForEachNeighbor, which
+// reads g without populating its neighbor cache, keeping the per-record
+// component stage safe to shard.
 func componentAnchor(g *graph.Graph, h *graph.Graph, rec peel.PathRecord) graph.Set {
 	touches := func(c graph.Set) bool {
 		if c == nil {
 			return false
 		}
+		found := false
 		for _, v := range h.Nodes() {
-			for _, u := range g.Neighbors(v) {
-				if c.Contains(u) {
-					return true
+			g.ForEachNeighbor(v, func(u graph.ID) {
+				if !found && c.Contains(u) {
+					found = true
 				}
+			})
+			if found {
+				return true
 			}
 		}
 		return false
@@ -252,55 +332,77 @@ func componentAnchor(g *graph.Graph, h *graph.Graph, rec peel.PathRecord) graph.
 // absorption property.
 func AbsorbingMIS(h *graph.Graph, g *graph.Graph, anchor graph.Set) graph.Set {
 	// Distances from the anchor measured in g restricted to h's nodes
-	// plus the anchor clique.
-	distFromAnchor := make(map[graph.ID]int)
+	// plus the anchor clique, held in a slice keyed by position in the
+	// sorted scope set (the region subgraph is never materialized; BFS
+	// walks g's adjacency filtered to the scope). Unreached scope nodes
+	// keep distance 0, matching the zero value the map-backed version
+	// reported for them.
+	var scope graph.Set
+	var dist []int32
 	if len(anchor) > 0 {
-		scope := append(graph.Set(nil), anchor...)
-		scope = append(scope, h.Nodes()...)
-		region := g.InducedSubgraph(scope)
-		// Multi-source BFS from the anchor.
-		frontier := []graph.ID{}
+		scope = graph.NewSet(append(anchor.Clone(), h.Nodes()...)...)
+		dist = make([]int32, len(scope))
+		seen := make([]bool, len(scope))
+		queue := make([]int32, 0, len(scope))
 		for _, a := range anchor {
-			if region.HasNode(a) {
-				distFromAnchor[a] = 0
-				frontier = append(frontier, a)
+			if li, ok := scopeIndex(scope, a); ok && g.HasNode(a) && !seen[li] {
+				seen[li] = true
+				queue = append(queue, int32(li))
 			}
 		}
-		for len(frontier) > 0 {
-			var next []graph.ID
-			for _, v := range frontier {
-				for _, u := range region.Neighbors(v) {
-					if _, seen := distFromAnchor[u]; !seen {
-						distFromAnchor[u] = distFromAnchor[v] + 1
-						next = append(next, u)
-					}
+		for head := 0; head < len(queue); head++ {
+			li := queue[head]
+			g.ForEachNeighbor(scope[li], func(u graph.ID) {
+				if uj, ok := scopeIndex(scope, u); ok && !seen[uj] {
+					seen[uj] = true
+					dist[uj] = dist[li] + 1
+					queue = append(queue, int32(uj))
 				}
-			}
-			frontier = next
+			})
 		}
+	}
+	distOf := func(v graph.ID) int32 {
+		if dist == nil {
+			return 0
+		}
+		if li, ok := scopeIndex(scope, v); ok {
+			return dist[li]
+		}
+		return 0
 	}
 	work := h.Clone()
 	var out graph.Set
 	for work.NumNodes() > 0 {
-		var simplicial []graph.ID
+		// The furthest-first, smallest-ID-on-ties pick: scanning the
+		// sorted node list with a strict > keeps the smallest ID among
+		// the maximum-distance simplicial vertices.
+		best := graph.ID(0)
+		var bestDist int32
+		found := false
 		for _, v := range work.Nodes() {
-			if chordal.IsSimplicial(work, v) {
-				simplicial = append(simplicial, v)
+			if !chordal.IsSimplicial(work, v) {
+				continue
+			}
+			if dv := distOf(v); !found || dv > bestDist {
+				found = true
+				best = v
+				bestDist = dv
 			}
 		}
-		sort.Slice(simplicial, func(i, j int) bool {
-			di, dj := distFromAnchor[simplicial[i]], distFromAnchor[simplicial[j]]
-			if di != dj {
-				return di > dj // furthest first
-			}
-			return simplicial[i] < simplicial[j]
-		})
-		s := simplicial[0]
-		out = append(out, s)
-		for _, u := range work.Neighbors(s) {
+		out = append(out, best)
+		for _, u := range work.Neighbors(best) {
 			work.RemoveNode(u)
 		}
-		work.RemoveNode(s)
+		work.RemoveNode(best)
 	}
 	return graph.NewSet(out...)
+}
+
+// scopeIndex locates v in the sorted set by binary search.
+func scopeIndex(scope graph.Set, v graph.ID) (int, bool) {
+	i := sort.Search(len(scope), func(j int) bool { return scope[j] >= v })
+	if i < len(scope) && scope[i] == v {
+		return i, true
+	}
+	return 0, false
 }

@@ -89,6 +89,10 @@ func DistributedPruneSpec(g *graph.Graph, spec PruneSpec) (*PruneOutcome, error)
 	// views, the iteration-shared G_i ball, and one scratch per worker
 	// shard (see decide.go).
 	workers := resolveDecideWorkers(spec.DecideWorkers)
+	// noteOf[i] is the flood annotation of the node at snapshot index i:
+	// its layer once decided, nil while undecided. Maintained in place as
+	// layers are assigned, so no per-iteration note map is ever built.
+	noteOf := make([]any, ix.NumNodes())
 	undecidedIdx := make([]bool, ix.NumNodes())
 	centers := make([]int32, 0, ix.NumNodes())
 	undecidedAll := make([]graph.ID, 0, ix.NumNodes())
@@ -104,14 +108,10 @@ func DistributedPruneSpec(g *graph.Graph, spec PruneSpec) (*PruneOutcome, error)
 		}
 		out.Iterations = iteration
 		last := spec.MaxIterations > 0 && iteration == spec.MaxIterations
-		notes := make(map[graph.ID]any, len(out.Layer))
-		for v, l := range out.Layer {
-			notes[v] = l
-		}
 		if ps, ok := spec.Observer.(dist.PhaseSetter); ok {
 			ps.SetPhase(fmt.Sprintf("prune-i%02d", iteration))
 		}
-		know, stats, err := dist.CollectBallsIndexedFaulty(ix, spec.Radius, notes, spec.Observer, spec.Faults)
+		know, stats, err := dist.CollectBallsByIndex(ix, spec.Radius, noteOf, spec.Observer, spec.Faults)
 		if err != nil {
 			return nil, err
 		}
@@ -182,6 +182,7 @@ func DistributedPruneSpec(g *graph.Graph, spec PruneSpec) (*PruneOutcome, error)
 			}
 			v := nodes[ci]
 			out.Layer[v] = iteration
+			noteOf[ci] = iteration
 			if parent := results[pos].parent; parent >= 0 {
 				out.Parent[v] = parent
 			}
@@ -232,7 +233,7 @@ func ColorChordalDistributedFaulty(g *graph.Graph, eps float64, o dist.RoundObse
 	if err != nil {
 		return nil, fmt.Errorf("distributed prune: %w", err)
 	}
-	peeled, err := peel.Run(g, peel.Options{InternalDiameter: 3 * k, Trace: peelTrace})
+	peeled, err := peel.Run(g, peel.Options{InternalDiameter: 3 * k, Trace: peelTrace, NoForests: true})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultStageWorkers is the process-wide default worker count for the
+// pure-compute stages of the centralized pipeline (per-component MIS
+// work, per-path coloring, correction-phase node setup): 0 picks
+// GOMAXPROCS, 1 runs sequentially. Stages write into deterministic
+// per-item result slots, so every worker count produces bit-identical
+// output. The CLIs expose it as -workers.
+var DefaultStageWorkers int
+
+func resolveStageWorkers(specWorkers, tasks int) int {
+	w := specWorkers
+	if w == 0 {
+		w = DefaultStageWorkers
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > tasks {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runStageRanges splits [0, n) into contiguous chunks, one per worker,
+// and runs body on each. body must only write state owned by its range.
+func runStageRanges(n, workers int, body func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -92,12 +92,11 @@ func TestFloodDeterministicAcrossModes(t *testing.T) {
 	}
 }
 
-// TestFloodDedupModesAgree checks that the bitmap dedup (small n) and the
-// map dedup (large n) paths produce identical knowledge, by forcing the
-// map path on a small graph through the n threshold being a compile-time
-// constant: we instead run the same flood twice and compare against a
-// protocol built with the map path via a graph whose node count is small
-// but whose protocol we construct by hand.
+// TestFloodDedupModesAgree checks that the bitmap dedup (small n) and
+// the sparse-set dedup (large n) paths produce identical knowledge. The
+// n threshold is a compile-time constant, so the large-n path is forced
+// by hand: detach the bitmap and seed the sparse index set exactly as
+// newFloodProtocol does above seenBitmapMaxN.
 func TestFloodDedupModesAgree(t *testing.T) {
 	g := gen.RandomChordal(120, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.4}, 3)
 	ix := graph.NewIndexed(g)
@@ -107,10 +106,11 @@ func TestFloodDedupModesAgree(t *testing.T) {
 			i, _ := ix.IndexOf(v)
 			p := newFloodProtocol(v, i, ix, nil, radius, 8)
 			if forceMap {
-				// Disable the bitmap so dedup falls back to the
-				// position map, as it would for n > seenBitmapMaxN.
+				// Disable the bitmap so dedup falls back to the sparse
+				// index set, as it would for n > seenBitmapMaxN.
 				p.seen = nil
-				p.know.pos = map[graph.ID]int32{v: 0}
+				p.know.seen = nil
+				p.know.known.Add(int32(i))
 			}
 			return p
 		})

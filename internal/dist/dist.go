@@ -54,6 +54,18 @@ type Protocol interface {
 	Output() any
 }
 
+// Quiescent marks Protocol implementations whose Round call with an
+// empty inbox is guaranteed to be a no-op: no state change, no sends.
+// That holds for choreographies that drain every enabled action at the
+// end of each step (so progress is driven entirely by received
+// messages). When every node's protocol implements it, the engine skips
+// the Round call for nodes with empty inboxes, making idle rounds cost
+// O(active nodes) instead of O(n) protocol invocations — with outputs,
+// message schedules, and round counts identical by construction.
+type Quiescent interface {
+	QuiescentRound()
+}
+
 // ExecMode selects how the engine schedules per-node work within a round.
 // Every mode produces identical results; they differ only in scheduling.
 type ExecMode int
@@ -141,18 +153,35 @@ type PhaseSetter interface {
 }
 
 // Context is a node's interface to the network during Init/Round calls.
+// The outbox stores one entry per Send or Broadcast call: targets[k] is
+// the receiver's index for a Send, or broadcastTarget for a Broadcast,
+// which collect expands over the neighbor row at delivery. Queue
+// positions — the fault schedule's coordinates — are counted over the
+// expanded sequence, so the compressed representation is invisible to
+// fault plans.
 type Context struct {
 	id      graph.ID
 	idx     int32 // own dense index in the snapshot
 	nbrIDs  []graph.ID
 	nbrIdx  []int32
 	ix      *graph.Indexed
+	round   *int32 // engine's current step, shared by all contexts
 	outbox  []Message
 	targets []int32
 }
 
+// broadcastTarget marks an outbox entry addressed to every neighbor.
+const broadcastTarget int32 = -1
+
 // ID returns the node's unique identifier.
 func (c *Context) ID() graph.ID { return c.id }
+
+// Round returns the current step index: 0 during Init, then the 1-based
+// communication round. Rounds are synchronous, so every node observes
+// the same value; protocols use it to anchor absolute-expiry flooding
+// deadlines without keeping a per-node counter (which would drift for
+// Quiescent protocols whose idle Round calls are skipped).
+func (c *Context) Round() int { return int(*c.round) }
 
 // Neighbors returns the node's neighbors in increasing ID order. The
 // slice is shared with the engine's graph snapshot: treat it as
@@ -185,13 +214,15 @@ func (c *Context) Send(to graph.ID, payload any) {
 	c.targets = append(c.targets, j)
 }
 
-// Broadcast queues the same payload to every neighbor.
+// Broadcast queues the same payload to every neighbor. It stores a
+// single outbox entry; delivery expands it over the neighbor row in
+// order, exactly as the equivalent sequence of Sends would.
 func (c *Context) Broadcast(payload any) {
-	m := Message{From: c.id, Payload: payload}
-	for _, j := range c.nbrIdx {
-		c.outbox = append(c.outbox, m)
-		c.targets = append(c.targets, j)
+	if len(c.nbrIdx) == 0 {
+		return
 	}
+	c.outbox = append(c.outbox, Message{From: c.id, Payload: payload})
+	c.targets = append(c.targets, broadcastTarget)
 }
 
 // Sizer lets payload types report a size in abstract units (e.g. record
@@ -240,6 +271,10 @@ type Engine struct {
 	// schedule (see Faults). Nil — the default — keeps the unperturbed
 	// delivery loop with no per-message decision.
 	Faults *Faults
+	// SkipOutputs, when true, leaves Result.Outputs nil. Callers that
+	// keep their own by-index references to the protocols (the
+	// index-space flood collection) set it to skip the n-entry map build.
+	SkipOutputs bool
 
 	// done[i] mirrors progs[i].Done() after the node's latest step;
 	// doneCount is the number of true entries. Maintained inside the
@@ -257,6 +292,28 @@ type Engine struct {
 	// schedule.
 	crashAt []int
 	dead    []bool
+
+	// deliver is collect's per-receiver message-count scratch, used to
+	// reserve each inbox exactly once per round instead of growing it by
+	// repeated append-doubling.
+	deliver []int32
+
+	// quiescent is true when every node's protocol implements Quiescent;
+	// curRound is the step index shared with the contexts; skipInbox,
+	// when non-nil, is the current round's inbox buffer — runRange
+	// passes over nodes whose inbox is empty; touched is collect's
+	// scratch list of this round's receivers.
+	quiescent bool
+	curRound  int32
+	skipInbox [][]Message
+	touched   []int32
+
+	// inboxSlab holds the fault-free path's inbox backing arrays: each
+	// round's inboxes are carved out of one slab sized by the counting
+	// pass, double-buffered in step with cur/next so a slab is never
+	// rewritten while its slices are being consumed.
+	inboxSlab [2][]Message
+	slabIdx   int
 
 	// failMu/failErr capture the first node-program panic of the run;
 	// worker goroutines recover so a panicking node cannot deadlock the
@@ -279,9 +336,14 @@ func NewEngineIndexed(ix *graph.Indexed, factory func(v graph.ID) Protocol) *Eng
 		progs: make([]Protocol, ix.NumNodes()),
 		Mode:  DefaultMode,
 	}
+	quiescent := ix.NumNodes() > 0
 	for i, v := range ix.IDs() {
 		e.progs[i] = factory(v)
+		if _, ok := e.progs[i].(Quiescent); !ok {
+			quiescent = false
+		}
 	}
+	e.quiescent = quiescent
 	return e
 }
 
@@ -307,6 +369,7 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 			nbrIDs: e.ix.NeighborIDs(i),
 			nbrIdx: e.ix.NeighborIndices(i),
 			ix:     e.ix,
+			round:  &e.curRound,
 		}
 	}
 	// cur/next are per-node inboxes indexed by node index, double-buffered
@@ -322,6 +385,7 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 	}
 
 	res := &Result{}
+	e.curRound = 0
 	crashed := e.markCrashes(0)
 	shards := e.step(obs, 0, func(i int) {
 		e.progs[i].Init(&ctxs[i])
@@ -340,9 +404,18 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 		}
 		res.Rounds++
 		cur, next = next, cur
+		e.curRound = int32(res.Rounds)
+		if e.quiescent {
+			e.skipInbox = cur
+		}
 		crashed = e.markCrashes(res.Rounds)
 		shards = e.step(obs, res.Rounds, func(i int) {
-			e.progs[i].Round(&ctxs[i], cur[i])
+			// Truncate the inbox as it is consumed (the slice view handed
+			// to Round keeps its own length), so collect never needs an
+			// O(n) truncation pass on the fault-free path.
+			inbox := cur[i]
+			cur[i] = cur[i][:0]
+			e.progs[i].Round(&ctxs[i], inbox)
 		})
 		if err := e.failure(); err != nil {
 			return nil, err
@@ -350,9 +423,11 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 		e.collect(obs, res.Rounds, shards, ctxs, next, res, crashed)
 	}
 
-	res.Outputs = make(map[graph.ID]any, n)
-	for i, v := range e.ix.IDs() {
-		res.Outputs[v] = e.progs[i].Output()
+	if !e.SkipOutputs {
+		res.Outputs = make(map[graph.ID]any, n)
+		for i, v := range e.ix.IDs() {
+			res.Outputs[v] = e.progs[i].Output()
+		}
 	}
 	if obs != nil {
 		obs.RunEnd(res.Rounds)
@@ -471,6 +546,11 @@ func (e *Engine) runRange(lo, hi int, fn func(i int)) (err error) {
 		if e.dead != nil && e.dead[i] {
 			continue
 		}
+		if e.skipInbox != nil && len(e.skipInbox[i]) == 0 {
+			// Empty inbox on a Quiescent protocol: the call would be a
+			// no-op, so neither state nor Done can change.
+			continue
+		}
 		fn(i)
 		if d := e.progs[i].Done(); d != e.done[i] {
 			e.done[i] = d
@@ -482,6 +562,39 @@ func (e *Engine) runRange(lo, hi int, fn func(i int)) (err error) {
 		}
 	}
 	return nil
+}
+
+// deliverFaulty routes one expanded message copy through the fault
+// schedule: dead-letter to crashed receivers, then the plan's
+// drop/delay/dup decision keyed by (round, sender index, queue
+// position).
+func (e *Engine) deliverFaulty(msg Message, to int32, round, sender, pos, sz int, perturb bool, plan fault.Plan, next [][]Message, fs *FaultStats, msgs, vol *int) {
+	// Messages queued in step round are delivered at step round+1; a
+	// receiver that crashes at or before that step never reads them.
+	if e.crashAt != nil && e.crashAt[to] >= 0 && e.crashAt[to] <= round+1 {
+		fs.DeadLetters++
+		return
+	}
+	var act fault.Action
+	if perturb {
+		act = plan.Decide(round, sender, pos)
+	}
+	if act.Drop {
+		fs.Dropped++
+		return
+	}
+	if act.Delay > fs.Stall {
+		fs.Stall = act.Delay
+	}
+	next[to] = append(next[to], msg)
+	*msgs++
+	*vol += sz
+	if act.Dup {
+		fs.Duplicated++
+		next[to] = append(next[to], msg)
+		*msgs++
+		*vol += sz
+	}
 }
 
 // recordFailure keeps the first node-program failure of the run; Run
@@ -516,67 +629,105 @@ func (e *Engine) failure() error {
 // identical under every ExecMode. Without one, the loop is the original
 // branch-free path.
 func (e *Engine) collect(obs RoundObserver, round, shards int, ctxs []Context, next [][]Message, res *Result, crashed []graph.ID) {
-	for i := range next {
-		next[i] = next[i][:0]
-	}
 	msgs, vol := 0, 0
 	var fs FaultStats
 	faulty := e.Faults.active()
 	if !faulty {
+		// Counting pass: reserve every receiving inbox at its exact fill
+		// before delivering, so a round's delivery performs at most one
+		// allocation per inbox whose high-water mark rises (instead of a
+		// doubling ramp), and the delivery appends never move memory.
+		// Inboxes were truncated as the step consumed them, so only this
+		// round's receivers — the touched list — need any work at all.
+		if e.deliver == nil {
+			e.deliver = make([]int32, len(next))
+		}
+		cnt := e.deliver
+		touched := e.touched[:0]
+		total := 0
+		for i := range ctxs {
+			c := &ctxs[i]
+			for _, to := range c.targets {
+				if to >= 0 {
+					total++
+					if cnt[to] == 0 {
+						touched = append(touched, to)
+					}
+					cnt[to]++
+					continue
+				}
+				total += len(c.nbrIdx)
+				for _, u := range c.nbrIdx {
+					if cnt[u] == 0 {
+						touched = append(touched, u)
+					}
+					cnt[u]++
+				}
+			}
+		}
+		e.touched = touched
+		e.slabIdx ^= 1
+		slab := e.inboxSlab[e.slabIdx]
+		if cap(slab) < total {
+			slab = make([]Message, 0, total)
+			e.inboxSlab[e.slabIdx] = slab
+		}
+		pos := 0
+		for _, to := range touched {
+			c := int(cnt[to])
+			cnt[to] = 0
+			next[to] = slab[pos : pos : pos+c]
+			pos += c
+		}
 		for i := range ctxs {
 			c := &ctxs[i]
 			for k, msg := range c.outbox {
-				to := c.targets[k]
-				next[to] = append(next[to], msg)
-				msgs++
+				sz := 1
 				if s, ok := msg.Payload.(Sizer); ok {
-					vol += s.PayloadSize()
-				} else {
-					vol++
+					sz = s.PayloadSize()
 				}
+				if to := c.targets[k]; to >= 0 {
+					next[to] = append(next[to], msg)
+					msgs++
+					vol += sz
+					continue
+				}
+				for _, u := range c.nbrIdx {
+					next[u] = append(next[u], msg)
+				}
+				msgs += len(c.nbrIdx)
+				vol += sz * len(c.nbrIdx)
 			}
 			c.outbox = c.outbox[:0]
 			c.targets = c.targets[:0]
 		}
 	} else {
+		for i := range next {
+			next[i] = next[i][:0]
+		}
 		fs.Round = round
 		fs.Crashed = crashed
 		plan := e.Faults.Plan
 		perturb := plan.Perturbs()
 		for i := range ctxs {
 			c := &ctxs[i]
+			// pos is the queue position over the expanded send sequence —
+			// a Broadcast counts one position per neighbor — so fault
+			// coordinates match the uncompressed outbox exactly.
+			pos := 0
 			for k, msg := range c.outbox {
-				to := c.targets[k]
-				// Messages queued in step round are delivered at step
-				// round+1; a receiver that crashes at or before that step
-				// never reads them.
-				if e.crashAt != nil && e.crashAt[to] >= 0 && e.crashAt[to] <= round+1 {
-					fs.DeadLetters++
-					continue
-				}
-				var act fault.Action
-				if perturb {
-					act = plan.Decide(round, i, k)
-				}
-				if act.Drop {
-					fs.Dropped++
-					continue
-				}
-				if act.Delay > fs.Stall {
-					fs.Stall = act.Delay
-				}
-				next[to] = append(next[to], msg)
-				msgs++
 				sz := 1
 				if s, ok := msg.Payload.(Sizer); ok {
 					sz = s.PayloadSize()
 				}
-				vol += sz
-				if act.Dup {
-					fs.Duplicated++
-					next[to] = append(next[to], msg)
-					msgs++
-					vol += sz
+				if to := c.targets[k]; to >= 0 {
+					e.deliverFaulty(msg, to, round, i, pos, sz, perturb, plan, next, &fs, &msgs, &vol)
+					pos++
+					continue
+				}
+				for _, u := range c.nbrIdx {
+					e.deliverFaulty(msg, u, round, i, pos, sz, perturb, plan, next, &fs, &msgs, &vol)
+					pos++
 				}
 			}
 			c.outbox = c.outbox[:0]

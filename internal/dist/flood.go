@@ -36,11 +36,17 @@ type Knowledge struct {
 	dist   []int32 // aligned with recs
 	pos    map[graph.ID]int32
 	// seen is the flood protocol's dense dedup bitmap by snapshot index,
-	// handed over to the knowledge it built (nil in the map-dedup regime
+	// handed over to the knowledge it built (nil in the sparse-set regime
 	// and for retransmitted knowledge). CoversComponent and KnownIdx
 	// reuse it so small-n pruning never allocates a per-center position
 	// map.
 	seen []uint64
+	// known is the sparse dedup set by snapshot index — the big-n
+	// counterpart of seen, populated by the flood protocol above
+	// seenBitmapMaxN and by the retransmitting protocol's rebuild.
+	// KnownIdx and CoversComponent resolve through it, so index-space
+	// consumers never trigger the lazy position map regardless of n.
+	known IdxSet
 	// snap is the engine snapshot the flood ran on. Every record carries
 	// its snapshot index, so index-space accessors (RecordAt, KnownIdx,
 	// the bitmap CoversComponent) resolve adjacency rows through the
@@ -53,7 +59,8 @@ type Knowledge struct {
 }
 
 // ensurePos returns the ID→record-index map, building it on first use.
-// Protocols that dedup by map (large n) populate it eagerly instead.
+// All protocols dedup in index space (bitmap or IdxSet), so only the
+// ID-keyed accessors ever pay for this map.
 func (k *Knowledge) ensurePos() map[graph.ID]int32 {
 	if k.pos == nil {
 		k.pos = make(map[graph.ID]int32, len(k.recs))
@@ -88,11 +95,15 @@ func (k *Knowledge) IndexReady() bool { return k.snap != nil }
 
 // KnownIdx reports whether the node at snapshot index i is within the
 // collected ball. In the dense-bitmap regime this is a single bit test
-// with no map build; otherwise it falls back to a record scan. Only
-// meaningful when IndexReady reports true.
+// with no map build; in the sparse-set regime a single probe; otherwise
+// it falls back to a record scan. Only meaningful when IndexReady
+// reports true.
 func (k *Knowledge) KnownIdx(i int32) bool {
 	if k.seen != nil {
 		return k.seen[i>>6]&(1<<(uint(i)&63)) != 0
+	}
+	if k.known.Len() > 0 {
+		return k.known.Has(i)
 	}
 	for j := range k.recs {
 		if k.recs[j].idx == i {
@@ -145,16 +156,27 @@ func (k *Knowledge) InfoOf(v graph.ID) (NodeInfo, bool) {
 // answer stays near-O(1). False means only that the ball was clipped,
 // never that coverage is uncertain.
 //
-// In the dense-bitmap regime (n ≤ seenBitmapMaxN) the scan runs in
-// snapshot-index space against the flood's own dedup bitmap, so the
-// per-center position map is never built — the pruning phase calls this
-// once per undecided center per iteration, and the bitmap path keeps
-// that allocation-free.
+// Whenever the flood's own dedup structure survives — the dense bitmap
+// at n ≤ seenBitmapMaxN, the sparse index set above it — the scan runs
+// in snapshot-index space against it, so the per-center position map is
+// never built: the pruning phase calls this once per undecided center
+// per iteration, and the index-space paths keep that allocation-free at
+// every n.
 func (k *Knowledge) CoversComponent() bool {
 	if k.seen != nil && k.snap != nil {
 		for i := len(k.recs) - 1; i >= 0; i-- {
 			for _, u := range k.snap.NeighborIndices(int(k.recs[i].idx)) {
 				if k.seen[u>>6]&(1<<(uint(u)&63)) == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if k.known.Len() > 0 && k.snap != nil {
+		for i := len(k.recs) - 1; i >= 0; i-- {
+			for _, u := range k.snap.NeighborIndices(int(k.recs[i].idx)) {
+				if !k.known.Has(u) {
 					return false
 				}
 			}
@@ -229,9 +251,10 @@ func (b *infoBatch) PayloadSize() int { return len(*b) }
 
 // seenBitmapMaxN bounds the graphs for which flood protocols dedup with a
 // dense per-node bitmap (n²/8 bytes network-wide; 32 MB at the bound).
-// Larger networks fall back to the Dist-map lookup, which costs nothing
-// extra when balls are small relative to n — the only regime in which
-// such networks are floodable at all.
+// Larger networks dedup with a sparse open-addressing set of snapshot
+// indices sized by the ball, which costs nothing extra when balls are
+// small relative to n — the only regime in which such networks are
+// floodable at all.
 const seenBitmapMaxN = 1 << 14
 
 // floodProtocol implements incremental full-information flooding: each
@@ -270,8 +293,11 @@ func newFloodProtocol(v graph.ID, idx int, ix *graph.Indexed, note any, radius, 
 		// the index-space membership test (CoversComponent, KnownIdx).
 		k.seen = p.seen
 	} else {
-		k.pos = make(map[graph.ID]int32, sizeHint)
-		k.pos[v] = 0
+		// Big-n regime: dedup with the knowledge's own sparse index set,
+		// which doubles as its membership test after the run. The lazy
+		// position map is built only if an ID-keyed accessor asks.
+		k.known.Reserve(sizeHint)
+		k.known.Add(int32(idx))
 	}
 	p.batch[0] = infoBatch(k.recs[0:1:1])
 	return p
@@ -298,11 +324,8 @@ func (p *floodProtocol) Round(ctx *Context, inbox []Message) {
 					continue
 				}
 				p.seen[w] |= b
-			} else {
-				if _, known := k.pos[info.Node]; known {
-					continue
-				}
-				k.pos[info.Node] = int32(len(k.recs))
+			} else if !k.known.Add(info.idx) {
+				continue
 			}
 			k.recs = append(k.recs, info)
 			k.dist = append(k.dist, int32(p.round))
@@ -401,25 +424,69 @@ func CollectBallsIndexedObserved(ix *graph.Indexed, radius int, notes map[graph.
 // and crashes surface as engine errors — callers that must survive drops
 // use CollectBallsRetrans instead.
 func CollectBallsIndexedFaulty(ix *graph.Indexed, radius int, notes map[graph.ID]any, o RoundObserver, f *Faults) (map[graph.ID]*Knowledge, *Result, error) {
+	var noteOf []any
+	if len(notes) > 0 {
+		noteOf = make([]any, ix.NumNodes())
+		for v, note := range notes {
+			if i, ok := ix.IndexOf(v); ok {
+				noteOf[i] = note
+			}
+		}
+	}
+	ks, res, err := collectBalls(ix, radius, noteOf, o, f, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[graph.ID]*Knowledge, len(ks))
+	for i, v := range ix.IDs() {
+		out[v] = ks[i]
+	}
+	return out, res, nil
+}
+
+// CollectBallsByIndex is the index-space collection path: notes[i]
+// annotates the node at snapshot index i (a nil slice means no
+// annotations), and the returned knowledge slice is indexed the same
+// way. The ID-keyed variants above are wrappers over it; iterated
+// big-n callers — the pruning phase floods a million-node snapshot once
+// per iteration — use it directly, so neither an n-entry note map nor
+// an n-entry output map is ever built.
+func CollectBallsByIndex(ix *graph.Indexed, radius int, notes []any, o RoundObserver, f *Faults) ([]*Knowledge, *Result, error) {
+	return collectBalls(ix, radius, notes, o, f, true)
+}
+
+// collectBalls runs the flood engine and hands each node's knowledge
+// back by snapshot index. skipOutputs elides the engine's ID-keyed
+// Result.Outputs map (the protocols themselves are the by-index output
+// channel); the ID-keyed wrappers keep it populated for callers that
+// read the Result directly.
+func collectBalls(ix *graph.Indexed, radius int, notes []any, o RoundObserver, f *Faults, skipOutputs bool) ([]*Knowledge, *Result, error) {
 	n := ix.NumNodes()
 	avgDeg := 0
 	if n > 0 {
 		avgDeg = 2 * ix.NumEdges() / n
 	}
+	ps := make([]*floodProtocol, n)
 	eng := NewEngineIndexed(ix, func(v graph.ID) Protocol {
 		i, _ := ix.IndexOf(v)
+		var note any
+		if notes != nil {
+			note = notes[i]
+		}
 		hint := ballSizeHint(ix.Degree(i), avgDeg, radius, n)
-		return newFloodProtocol(v, i, ix, notes[v], radius, hint)
+		ps[i] = newFloodProtocol(v, i, ix, note, radius, hint)
+		return ps[i]
 	})
 	eng.Observer = o
 	eng.Faults = f
+	eng.SkipOutputs = skipOutputs
 	res, err := eng.Run(radius + 1)
 	if err != nil {
 		return nil, nil, fmt.Errorf("flooding: %w", err)
 	}
-	out := make(map[graph.ID]*Knowledge, len(res.Outputs))
-	for v, o := range res.Outputs {
-		out[v] = o.(*Knowledge)
+	out := make([]*Knowledge, n)
+	for i, p := range ps {
+		out[i] = p.know
 	}
 	return out, res, nil
 }

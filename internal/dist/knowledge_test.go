@@ -7,12 +7,13 @@ import (
 	"repro/internal/graph"
 )
 
-// forceMapPath returns a copy of k with the dedup bitmap detached and
-// the position map unbuilt, so CoversComponent and KnownIdx take the
-// reference map/scan paths.
+// forceMapPath returns a copy of k with the dedup bitmap and sparse
+// index set detached and the position map unbuilt, so CoversComponent
+// and KnownIdx take the reference map/scan paths.
 func forceMapPath(k *Knowledge) *Knowledge {
 	kc := *k
 	kc.seen = nil
+	kc.known = IdxSet{}
 	kc.pos = nil
 	return &kc
 }
@@ -91,8 +92,8 @@ func TestKnownIdxBitmapAndScanAgree(t *testing.T) {
 
 // TestRetransKnowledgeIndexReady checks that retransmission-protocol
 // knowledge is index-ready (the decide kernel consumes it through
-// view.Source) while carrying no bitmap — its CoversComponent takes the
-// position-map path.
+// view.Source) while carrying no bitmap — its CoversComponent goes
+// through the sparse index set, agreeing with the position-map path.
 func TestRetransKnowledgeIndexReady(t *testing.T) {
 	g := gen.Path(40)
 	know, _, err := CollectBallsRetrans(g, 4, 50, nil, nil, nil)
@@ -107,8 +108,68 @@ func TestRetransKnowledgeIndexReady(t *testing.T) {
 		if k.seen != nil {
 			t.Fatalf("retrans knowledge of %d unexpectedly carries a dedup bitmap", v)
 		}
+		if k.known.Len() != k.Size() {
+			t.Fatalf("retrans knowledge of %d: index set has %d entries, want %d", v, k.known.Len(), k.Size())
+		}
 		if got, want := k.CoversComponent(), forceMapPath(k).CoversComponent(); got != want {
 			t.Fatalf("retrans CoversComponent of %d: %v vs %v", v, got, want)
 		}
+	}
+}
+
+// TestBigNSparseSetRegime exercises the flood above seenBitmapMaxN,
+// where dedup and membership run through the sparse index set: no
+// bitmap, no eagerly-built position map, and KnownIdx/CoversComponent
+// agreeing with the ID-keyed reference paths.
+func TestBigNSparseSetRegime(t *testing.T) {
+	g := gen.Path(seenBitmapMaxN + 100)
+	// A second, tiny component whose radius-3 balls cover it entirely,
+	// so CoversComponent exercises both answers in this regime.
+	g.AddEdge(1_000_000, 1_000_001)
+	g.AddEdge(1_000_001, 1_000_002)
+	ix := graph.NewIndexed(g)
+	know, _, err := CollectBallsIndexed(ix, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := ix.IDs()
+	covered, clipped := 0, 0
+	for _, v := range []graph.ID{0, 77, seenBitmapMaxN / 2, 1_000_000, 1_000_001} {
+		k := know[v]
+		if k.seen != nil {
+			t.Fatalf("knowledge of %d carries a dense bitmap at n=%d", v, ix.NumNodes())
+		}
+		if k.known.Len() != k.Size() {
+			t.Fatalf("knowledge of %d: index set has %d entries, want %d", v, k.known.Len(), k.Size())
+		}
+		got := k.CoversComponent()
+		if k.pos != nil {
+			t.Fatalf("index-space CoversComponent of %d built the position map", v)
+		}
+		if want := forceMapPath(k).CoversComponent(); got != want {
+			t.Fatalf("CoversComponent of %d: sparse set %v, map path %v", v, got, want)
+		}
+		if got {
+			covered++
+		} else {
+			clipped++
+		}
+		scan := forceMapPath(k)
+		for _, u := range []graph.ID{0, v, 1_000_000, 1_000_002, graph.ID(seenBitmapMaxN - 1)} {
+			i, ok := ix.IndexOf(u)
+			if !ok {
+				t.Fatalf("probe node %d missing from snapshot", u)
+			}
+			set := k.KnownIdx(int32(i))
+			if slow := scan.KnownIdx(int32(i)); set != slow {
+				t.Fatalf("center %d idx %d: sparse KnownIdx %v, scan %v", v, i, set, slow)
+			}
+			if byID := k.Known(ids[i]); set != byID {
+				t.Fatalf("center %d idx %d: KnownIdx %v, Known(%d) %v", v, i, set, ids[i], byID)
+			}
+		}
+	}
+	if covered == 0 || clipped == 0 {
+		t.Fatalf("probe set saw covered=%d clipped=%d; want both regimes", covered, clipped)
 	}
 }

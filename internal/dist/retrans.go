@@ -19,6 +19,14 @@ import (
 // reordered deliveries are absorbed, and the final Knowledge is
 // identical to the fault-free flood's — the price of drops is paid in
 // extra rounds and messages, which CollectBallsRetrans reports.
+//
+// All per-record bookkeeping lives in slot space: each node numbers the
+// records it learns 0, 1, 2, … in acceptance order, an IdxMap resolves
+// a record's snapshot index to its slot, and the distance/info/queue
+// state are dense slices indexed by slot. The only hashing on the
+// record path is that single idx→slot probe; everything else — the
+// Bellman-Ford relax, the obligation flags, the retransmit walk — is
+// array indexing.
 
 // retransRec is one disseminated record: a node's info plus the hop
 // distance the receiver would know it at.
@@ -37,25 +45,36 @@ type retransBatch struct {
 // PayloadSize implements Sizer.
 func (b *retransBatch) PayloadSize() int { return len(b.Recs) }
 
-// retransAck acknowledges the records of one received batch: Nodes[i]
-// is known to the acking node at Hops[i]. Parallel slices rather than a
-// map so the payload has a deterministic order.
+// retransAck acknowledges the records of one received batch: the node
+// at snapshot index Idxs[i] is known to the acking node at Hops[i].
+// Parallel slices rather than a map so the payload has a deterministic
+// order.
 type retransAck struct {
-	Nodes []graph.ID
-	Hops  []int32
+	Idxs []int32
+	Hops []int32
 }
 
 // PayloadSize implements Sizer.
-func (a *retransAck) PayloadSize() int { return len(a.Nodes) }
+func (a *retransAck) PayloadSize() int { return len(a.Idxs) }
 
-// retransQueue is the per-neighbor obligation set. order records every
-// node ID ever enqueued, in first-enqueue order; pending marks which of
-// them are currently owed. Retransmission walks order, so the batch
-// layout is a deterministic function of the protocol history alone.
+// retransQueue is the per-neighbor obligation set over record slots.
+// order records every slot ever enqueued, in first-enqueue order;
+// pending marks which of them are currently owed. Retransmission walks
+// order, so the batch layout is a deterministic function of the
+// protocol history alone.
 type retransQueue struct {
-	order   []graph.ID
-	pending map[graph.ID]bool
+	order   []int32
+	ever    []bool // by slot: slot appears in order
+	pending []bool // by slot: currently owed
 	count   int
+}
+
+// ensure grows the per-slot flag slices to cover slot indices below n.
+func (q *retransQueue) ensure(n int) {
+	for len(q.pending) < n {
+		q.pending = append(q.pending, false)
+		q.ever = append(q.ever, false)
+	}
 }
 
 type retransProtocol struct {
@@ -65,8 +84,12 @@ type retransProtocol struct {
 	nbrs   []graph.ID
 	nbrPos map[graph.ID]int
 
-	best map[graph.ID]int32
-	info map[graph.ID]NodeInfo
+	// slotOf maps a record's snapshot index to its slot; infos and best
+	// are the record store and Bellman-Ford distances by slot. Slot 0 is
+	// always the node's own record.
+	slotOf IdxMap
+	infos  []NodeInfo
+	best   []int32
 
 	queues       []retransQueue
 	pendingCount int
@@ -80,31 +103,34 @@ func newRetransProtocol(v graph.ID, idx int, ix *graph.Indexed, note any, radius
 		radius: radius,
 		nbrs:   adj,
 		nbrPos: make(map[graph.ID]int, len(adj)),
-		best:   map[graph.ID]int32{v: 0},
-		info:   map[graph.ID]NodeInfo{v: {Node: v, Adj: adj, Note: note, idx: int32(idx)}},
+		infos:  []NodeInfo{{Node: v, Adj: adj, Note: note, idx: int32(idx)}},
+		best:   []int32{0},
 		queues: make([]retransQueue, len(adj)),
 	}
+	p.slotOf.Put(int32(idx), 0)
 	for i, u := range adj {
 		p.nbrPos[u] = i
-		p.queues[i].pending = make(map[graph.ID]bool)
 	}
 	return p
 }
 
-// enqueueExcept marks id as owed to every neighbor but the one the
-// record just arrived from: that neighbor offered it, so it already
-// knows id at a hop count at most ours.
-func (p *retransProtocol) enqueueExcept(from graph.ID, id graph.ID) {
+// enqueueExcept marks slot as owed to every neighbor queue but fromQ —
+// the one the record just arrived on: that neighbor offered it, so it
+// already knows the record at a hop count at most ours. fromQ < 0
+// enqueues to every neighbor (the initial self-record).
+func (p *retransProtocol) enqueueExcept(fromQ int, slot int32) {
 	for i := range p.queues {
-		if p.nbrs[i] == from {
+		if i == fromQ {
 			continue
 		}
 		q := &p.queues[i]
-		if !q.pending[id] {
-			if _, seen := q.pending[id]; !seen {
-				q.order = append(q.order, id)
+		q.ensure(int(slot) + 1)
+		if !q.pending[slot] {
+			if !q.ever[slot] {
+				q.ever[slot] = true
+				q.order = append(q.order, slot)
 			}
-			q.pending[id] = true
+			q.pending[slot] = true
 			q.count++
 			p.pendingCount++
 		}
@@ -113,13 +139,7 @@ func (p *retransProtocol) enqueueExcept(from graph.ID, id graph.ID) {
 
 func (p *retransProtocol) Init(ctx *Context) {
 	if p.radius > 0 {
-		for i := range p.queues {
-			q := &p.queues[i]
-			q.order = append(q.order, p.v)
-			q.pending[p.v] = true
-			q.count++
-			p.pendingCount++
-		}
+		p.enqueueExcept(-1, 0)
 	}
 	p.retransmit(ctx)
 }
@@ -128,34 +148,48 @@ func (p *retransProtocol) Round(ctx *Context, inbox []Message) {
 	for _, m := range inbox {
 		switch pl := m.Payload.(type) {
 		case *retransBatch:
+			fromQ := p.nbrPos[m.From]
 			ack := &retransAck{
-				Nodes: make([]graph.ID, 0, len(pl.Recs)),
-				Hops:  make([]int32, 0, len(pl.Recs)),
+				Idxs: make([]int32, 0, len(pl.Recs)),
+				Hops: make([]int32, 0, len(pl.Recs)),
 			}
 			for _, rec := range pl.Recs {
-				id := rec.Info.Node
-				if cur, known := p.best[id]; !known || rec.Hops < cur {
-					p.best[id] = rec.Hops
-					p.info[id] = rec.Info
+				ri := rec.Info.idx
+				slot, known := p.slotOf.Get(ri)
+				if !known {
+					slot = int32(len(p.infos))
+					p.slotOf.Put(ri, slot)
+					p.infos = append(p.infos, rec.Info)
+					p.best = append(p.best, rec.Hops)
 					if int(rec.Hops) < p.radius {
-						p.enqueueExcept(m.From, id)
+						p.enqueueExcept(fromQ, slot)
+					}
+				} else if rec.Hops < p.best[slot] {
+					p.best[slot] = rec.Hops
+					p.infos[slot] = rec.Info
+					if int(rec.Hops) < p.radius {
+						p.enqueueExcept(fromQ, slot)
 					}
 				}
 				// Always ack, even duplicates: the previous ack may
 				// itself have been dropped.
-				ack.Nodes = append(ack.Nodes, id)
-				ack.Hops = append(ack.Hops, p.best[id])
+				ack.Idxs = append(ack.Idxs, ri)
+				ack.Hops = append(ack.Hops, p.best[slot])
 			}
 			ctx.Send(m.From, ack)
 		case *retransAck:
 			q := &p.queues[p.nbrPos[m.From]]
-			for i, id := range pl.Nodes {
-				// The obligation is met once the neighbor knows id at
-				// least as well as we could tell it. A stale ack (we
-				// have since found a shorter path) keeps the record
-				// pending.
-				if q.pending[id] && pl.Hops[i] <= p.best[id]+1 {
-					q.pending[id] = false
+			for i, ri := range pl.Idxs {
+				slot, known := p.slotOf.Get(ri)
+				if !known || int(slot) >= len(q.pending) {
+					continue
+				}
+				// The obligation is met once the neighbor knows the
+				// record at least as well as we could tell it. A stale
+				// ack (we have since found a shorter path) keeps the
+				// record pending.
+				if q.pending[slot] && pl.Hops[i] <= p.best[slot]+1 {
+					q.pending[slot] = false
 					q.count--
 					p.pendingCount--
 				}
@@ -176,9 +210,9 @@ func (p *retransProtocol) retransmit(ctx *Context) {
 			continue
 		}
 		batch := &retransBatch{Recs: make([]retransRec, 0, q.count)}
-		for _, id := range q.order {
-			if q.pending[id] {
-				batch.Recs = append(batch.Recs, retransRec{Info: p.info[id], Hops: p.best[id] + 1})
+		for _, slot := range q.order {
+			if q.pending[slot] {
+				batch.Recs = append(batch.Recs, retransRec{Info: p.infos[slot], Hops: p.best[slot] + 1})
 			}
 		}
 		ctx.Send(u, batch)
@@ -192,21 +226,24 @@ func (p *retransProtocol) Done() bool { return p.pendingCount == 0 }
 
 // Output rebuilds a Knowledge equivalent to the fault-free flood's: the
 // record slice sorted by (hops, id) restores the nondecreasing-distance
-// invariant FilteredBallGraph relies on, with the center first.
+// invariant FilteredBallGraph relies on, with the center first. The
+// knowledge gets the sparse index set as its membership structure, so
+// CoversComponent and KnownIdx take the index-space path like the plain
+// flood's.
 func (p *retransProtocol) Output() any {
-	ids := make([]graph.ID, 0, len(p.best))
-	for id := range p.best {
-		ids = append(ids, id)
+	slots := make([]int32, len(p.infos))
+	for i := range slots {
+		slots[i] = int32(i)
 	}
-	slices.SortFunc(ids, func(a, b graph.ID) int {
-		da, db := p.best[a], p.best[b]
-		if da != db {
-			return int(da - db)
+	slices.SortFunc(slots, func(a, b int32) int {
+		if p.best[a] != p.best[b] {
+			return int(p.best[a] - p.best[b])
 		}
-		if a < b {
+		na, nb := p.infos[a].Node, p.infos[b].Node
+		if na < nb {
 			return -1
 		}
-		if a > b {
+		if na > nb {
 			return 1
 		}
 		return 0
@@ -214,18 +251,17 @@ func (p *retransProtocol) Output() any {
 	k := &Knowledge{
 		Center: p.v,
 		Radius: p.radius,
-		recs:   make([]NodeInfo, 0, len(ids)),
-		dist:   make([]int32, 0, len(ids)),
-		// Every record originated in an index-carrying self record, so
-		// the rebuilt knowledge is index-ready too (no dedup bitmap,
-		// though: CoversComponent takes the position-map path).
-		snap: p.ix,
+		recs:   make([]NodeInfo, 0, len(slots)),
+		dist:   make([]int32, 0, len(slots)),
+		snap:   p.ix,
 	}
-	for _, id := range ids {
-		k.recs = append(k.recs, p.info[id])
-		k.dist = append(k.dist, p.best[id])
-		if int(p.best[id]) > k.maxDist {
-			k.maxDist = int(p.best[id])
+	k.known.Reserve(len(slots))
+	for _, s := range slots {
+		k.recs = append(k.recs, p.infos[s])
+		k.dist = append(k.dist, p.best[s])
+		k.known.Add(p.infos[s].idx)
+		if int(p.best[s]) > k.maxDist {
+			k.maxDist = int(p.best[s])
 		}
 	}
 	return k

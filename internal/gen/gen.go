@@ -210,6 +210,70 @@ func RandomChordal(n int, opts ChordalOpts, seed int64) *graph.Graph {
 	return g
 }
 
+// RandomChordalSubtree returns a random connected chordal graph on n
+// nodes via the linear-time subtree-intersection construction: chordal
+// graphs are exactly the intersection graphs of subtrees of a tree
+// (Gavril; see also Ekim–Shalom–Şeker, arXiv:1904.04916, for the
+// linear-time random model). A host tree on n nodes is grown as a
+// random recursive tree (node i attaches to a uniform earlier node);
+// vertex i's subtree is the upward path from host node i of length
+// 2 + rng.Intn(maxLen), truncated early when the next host node is
+// already carrying `capacity` subtrees. The first upward step is always
+// taken, so vertex i intersects vertex parent(i)'s subtree and the
+// result is connected. Each host node carries O(capacity + children)
+// subtrees, so the total construction and edge count are O(n) for fixed
+// maxLen and capacity — this is the generator behind the million-node
+// pipeline benchmarks, where the simplicial-construction generator's
+// Set cloning is too slow.
+func RandomChordalSubtree(n, maxLen, capacity int, seed int64) *graph.Graph {
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	if capacity < 2 {
+		capacity = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	if n <= 0 {
+		return g
+	}
+	g.AddNode(0)
+	parent := make([]int32, n) // host-tree parent; parent[0] = -1
+	parent[0] = -1
+	// members[t] lists the vertices whose subtree covers host node t;
+	// every pair sharing a host node is adjacent (and, by the Helly
+	// property of subtrees, those member sets are exactly the maximal
+	// cliques' building blocks).
+	members := make([][]int32, n)
+	members[0] = append(members[0], 0)
+	for i := 1; i < n; i++ {
+		p := int32(rng.Intn(i))
+		parent[i] = p
+		v := graph.ID(i)
+		g.AddNode(v)
+		members[i] = append(members[i], int32(i))
+		length := 2 + rng.Intn(maxLen)
+		at := int32(i)
+		for step := 1; step < length; step++ {
+			at = parent[at]
+			if at < 0 {
+				break
+			}
+			// The first step is unconditional (connectivity); later
+			// steps respect the per-host-node capacity so clique sizes
+			// stay bounded by capacity plus the host node's degree.
+			if step > 1 && len(members[at]) >= capacity {
+				break
+			}
+			for _, u := range members[at] {
+				g.AddEdge(v, graph.ID(u))
+			}
+			members[at] = append(members[at], int32(i))
+		}
+	}
+	return g
+}
+
 // KTree returns a random k-tree on n nodes (n >= k+1): start from K_{k+1},
 // then each new node attaches to a random existing k-clique. k-trees are
 // chordal with ω = k+1.

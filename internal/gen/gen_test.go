@@ -3,6 +3,7 @@ package gen
 import (
 	"testing"
 
+	"repro/internal/chordal"
 	"repro/internal/graph"
 )
 
@@ -108,6 +109,51 @@ func TestRandomChordalConnected(t *testing.T) {
 		if len(g.Components()) != 1 {
 			t.Fatal("random chordal not connected")
 		}
+	}
+}
+
+func TestRandomChordalSubtree(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := RandomChordalSubtree(400, 3, 6, seed)
+		if g.NumNodes() != 400 {
+			t.Fatalf("seed %d: n = %d", seed, g.NumNodes())
+		}
+		if len(g.Components()) != 1 {
+			t.Fatalf("seed %d: not connected", seed)
+		}
+		if _, err := chordal.PEO(g); err != nil {
+			t.Fatalf("seed %d: not chordal: %v", seed, err)
+		}
+	}
+}
+
+func TestRandomChordalSubtreeDeterministic(t *testing.T) {
+	a := RandomChordalSubtree(300, 4, 5, 42)
+	b := RandomChordalSubtree(300, 4, 5, 42)
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape differs: (%d,%d) vs (%d,%d)",
+			a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+	for _, v := range a.Nodes() {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			t.Fatalf("degree(%d) differs", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("adjacency of %d differs", v)
+			}
+		}
+	}
+}
+
+func TestRandomChordalSubtreeLinearEdges(t *testing.T) {
+	// Edge count must stay O(n) for fixed maxLen/capacity: every vertex
+	// joins at most maxLen+1 host nodes, each already carrying at most
+	// capacity + host-degree members.
+	g := RandomChordalSubtree(20000, 3, 6, 1)
+	if m := g.NumEdges(); m > 20*20000 {
+		t.Fatalf("edge count %d not linear in n", m)
 	}
 }
 

@@ -1,0 +1,681 @@
+package peel
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cliquetree"
+	"repro/internal/graph"
+)
+
+// This file is the CSR engine behind Run: the peeling process executed
+// entirely in snapshot-index space. One graph.Indexed snapshot is taken
+// up front; each iteration rebuilds the clique forest over an alive mask
+// (cliquetree.Builder), extracts the maximal binary paths with
+// plain-array versions of the paths.go routines, and measures every path
+// (capped diameter, independence number, subpath nodes) with per-worker
+// epoch-stamped scratch. Path measurement is a pure per-path function of
+// the snapshot, the alive mask, and the forest, so paths shard over
+// workers into deterministic per-path result slots: outputs are
+// bit-identical for every worker count and match the map-backed
+// reference implementation (runReference) record for record.
+
+// DefaultWorkers is the worker count Run uses when Options.Workers is
+// zero: 0 picks GOMAXPROCS, 1 runs sequentially, n uses n workers. The
+// CLIs expose it as -workers.
+var DefaultWorkers = 0
+
+func resolveWorkers(w, tasks int) int {
+	if w == 0 {
+		w = DefaultWorkers
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > tasks {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// pathIdx is a maximal binary path in clique-id space (cliquetree.Path
+// without the materialized int slices).
+type pathIdx struct {
+	off, ln                int32 // clique ids at engine.pathStore[off:off+ln]
+	kind                   cliquetree.PathKind
+	attachStart, attachEnd int32 // -1 when absent
+	minClique              int32
+}
+
+// pathSlot is one path's measured result, written by exactly one worker.
+type pathSlot struct {
+	take        bool
+	diam, alpha int
+	cliques     []graph.Set
+	attachStart graph.Set
+	attachEnd   graph.Set
+	nodes       graph.Set
+	nodeIdxs    []int32
+}
+
+// peelScratch is one worker's reusable state: epoch-stamped node and
+// clique marks, level-synchronous BFS storage, and the packed-heap MCS
+// used for path independence numbers.
+type peelScratch struct {
+	epoch    int32   // per-path epoch for nodeMark/visited/blocked
+	nodeMark []int32 // path-membership marks by snapshot index
+	visited  []int32 // sub-MCS visited marks
+	blocked  []int32 // Gavril blocked marks
+	weight   []int32 // sub-MCS weights (reset via the member list)
+
+	seenEpoch int32 // per-BFS epoch for seen
+	seen      []int32
+
+	clEpoch int32
+	clMark  []int32 // path-membership marks by clique id
+
+	queue   []int32
+	members []int32
+	anchors []int32
+	order   []int32
+	heap    []uint64
+	out     []int32
+}
+
+func (s *peelScratch) reset(n int) {
+	if len(s.nodeMark) < n {
+		s.nodeMark = make([]int32, n)
+		s.visited = make([]int32, n)
+		s.blocked = make([]int32, n)
+		s.weight = make([]int32, n)
+		s.seen = make([]int32, n)
+	}
+	if s.epoch == math.MaxInt32 {
+		for i := range s.nodeMark {
+			s.nodeMark[i] = 0
+			s.visited[i] = 0
+			s.blocked[i] = 0
+		}
+		s.epoch = 0
+	}
+	s.epoch++
+}
+
+func (s *peelScratch) nextSeen() int32 {
+	if s.seenEpoch == math.MaxInt32 {
+		for i := range s.seen {
+			s.seen[i] = 0
+		}
+		s.seenEpoch = 0
+	}
+	s.seenEpoch++
+	return s.seenEpoch
+}
+
+func (s *peelScratch) resetCliques(nc int) {
+	if len(s.clMark) < nc {
+		s.clMark = make([]int32, nc)
+	}
+	if s.clEpoch == math.MaxInt32 {
+		for i := range s.clMark {
+			s.clMark[i] = 0
+		}
+		s.clEpoch = 0
+	}
+	s.clEpoch++
+}
+
+// engine holds the per-run state of the CSR peeling process.
+type engine struct {
+	ix      *graph.Indexed
+	alive   []bool
+	nAlive  int
+	builder *cliquetree.Builder
+	f       cliquetree.CSRForest
+
+	// Binary-path extraction scratch (sequential per iteration).
+	isBinary  []bool
+	seenCl    []bool
+	inComp    []bool
+	comp      []int32
+	ends      []int32
+	pathStore []int32
+	paths     []pathIdx
+	slots     []pathSlot
+
+	scratches []*peelScratch
+}
+
+// Run executes the peeling process on a chordal graph.
+func Run(g *graph.Graph, opts Options) (*Result, error) {
+	ix := graph.NewIndexed(g)
+	n := ix.NumNodes()
+	e := &engine{
+		ix:      ix,
+		alive:   make([]bool, n),
+		nAlive:  n,
+		builder: cliquetree.NewBuilder(ix),
+	}
+	for i := range e.alive {
+		e.alive[i] = true
+	}
+	res := &Result{}
+	iteration := 0
+	for e.nAlive > 0 {
+		iteration++
+		if opts.MaxIterations > 0 && iteration > opts.MaxIterations {
+			break
+		}
+		if err := e.builder.Build(e.alive, e.nAlive, &e.f); err != nil {
+			return nil, fmt.Errorf("peel iteration %d: %w", iteration, err)
+		}
+		if !opts.NoForests {
+			res.Forests = append(res.Forests, cliquetree.ToForest(&e.f, ix.IDs()))
+		}
+		last := opts.MaxIterations > 0 && iteration == opts.MaxIterations
+		layer := e.peelOnce(iteration, opts, last)
+		if len(layer.Nodes) == 0 && !last {
+			// A nonempty forest always has pendant paths, so this cannot
+			// happen; guard against looping forever.
+			return nil, fmt.Errorf("peel iteration %d removed nothing", iteration)
+		}
+		res.Layers = append(res.Layers, *layer)
+		for i := range e.slots {
+			if !e.slots[i].take {
+				continue
+			}
+			for _, idx := range e.slots[i].nodeIdxs {
+				e.alive[idx] = false
+			}
+			e.nAlive -= len(e.slots[i].nodeIdxs)
+		}
+		if opts.Trace != nil {
+			ev := LayerEvent{
+				Iteration:     iteration,
+				NodesPeeled:   len(layer.Nodes),
+				ForestCliques: e.f.NumCliques,
+				Remaining:     e.nAlive,
+			}
+			for _, p := range layer.Paths {
+				if p.Kind == cliquetree.Pendant {
+					ev.PendantPaths++
+				} else {
+					ev.InternalPaths++
+				}
+			}
+			opts.Trace(ev)
+		}
+	}
+	remaining := make(graph.Set, 0, e.nAlive)
+	for i := 0; i < n; i++ {
+		if e.alive[i] {
+			remaining = append(remaining, ix.IDOf(i))
+		}
+	}
+	res.Remaining = graph.NewSet(remaining...)
+	return res, nil
+}
+
+// peelOnce measures every maximal binary path of the current forest and
+// assembles the iteration's layer. The take rules and recorded fields
+// mirror the reference peelOnce exactly.
+func (e *engine) peelOnce(iteration int, opts Options, last bool) *Layer {
+	e.extractPaths()
+	diamCap := opts.InternalDiameter
+	if diamCap < 8 {
+		diamCap = 8
+	}
+	nPaths := len(e.paths)
+	if cap(e.slots) < nPaths {
+		e.slots = make([]pathSlot, nPaths)
+	}
+	e.slots = e.slots[:nPaths]
+	for i := range e.slots {
+		e.slots[i] = pathSlot{}
+	}
+	workers := resolveWorkers(opts.Workers, nPaths)
+	for len(e.scratches) < workers {
+		e.scratches = append(e.scratches, &peelScratch{})
+	}
+	if workers <= 1 {
+		if nPaths > 0 {
+			e.measureRange(0, nPaths, e.scratches[0], diamCap, opts, last)
+		}
+	} else {
+		chunk := (nPaths + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > nPaths {
+				hi = nPaths
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int, s *peelScratch) {
+				defer wg.Done()
+				e.measureRange(lo, hi, s, diamCap, opts, last)
+			}(lo, hi, e.scratches[w])
+		}
+		wg.Wait()
+	}
+	layer := &Layer{Index: iteration}
+	var peeled []graph.ID
+	for i := range e.slots {
+		slot := &e.slots[i]
+		if !slot.take {
+			continue
+		}
+		layer.Paths = append(layer.Paths, PathRecord{
+			Cliques:     slot.cliques,
+			Kind:        e.paths[i].kind,
+			Nodes:       slot.nodes,
+			Diameter:    slot.diam,
+			Alpha:       slot.alpha,
+			AttachStart: slot.attachStart,
+			AttachEnd:   slot.attachEnd,
+		})
+		peeled = append(peeled, slot.nodes...)
+	}
+	// One sort+dedup over all peeled paths, as in the reference.
+	layer.Nodes = graph.NewSet(peeled...)
+	return layer
+}
+
+// measureRange measures paths [lo, hi) into their slots.
+func (e *engine) measureRange(lo, hi int, s *peelScratch, diamCap int, opts Options, last bool) {
+	for i := lo; i < hi; i++ {
+		e.measurePath(i, s, diamCap, opts, last)
+	}
+}
+
+// measurePath decides and records one path. The reference computes the
+// independence number for every path but only records it on taken paths,
+// so this version skips α for internal paths the diameter rule rejects:
+// the recorded output is identical.
+func (e *engine) measurePath(i int, s *peelScratch, diamCap int, opts Options, last bool) {
+	p := &e.paths[i]
+	slot := &e.slots[i]
+	cliques := e.pathStore[p.off : p.off+p.ln]
+	s.reset(e.ix.NumNodes())
+	s.resetCliques(e.f.NumCliques)
+
+	// Path membership: the clique set and its node union V_P.
+	members := s.members[:0]
+	for _, c := range cliques {
+		s.clMark[c] = s.clEpoch
+		for _, v := range e.f.Clique(c) {
+			if s.nodeMark[v] != s.epoch {
+				s.nodeMark[v] = s.epoch
+				members = append(members, v)
+			}
+		}
+	}
+	s.members = members
+
+	slot.diam = e.pathDiameter(cliques, members, s, diamCap)
+	take := false
+	alphaDone := false
+	switch p.kind {
+	case cliquetree.Pendant:
+		take = true
+	case cliquetree.Internal:
+		if last && opts.FinalAlpha > 0 {
+			slot.alpha = e.alphaOf(members, s)
+			alphaDone = true
+			take = slot.alpha >= opts.FinalAlpha
+		} else {
+			take = opts.InternalDiameter > 0 && slot.diam >= opts.InternalDiameter
+		}
+	}
+	if !take {
+		return
+	}
+	if !alphaDone {
+		slot.alpha = e.alphaOf(members, s)
+	}
+	slot.take = true
+
+	// Materialize the record's sets. Snapshot index order is ID order, so
+	// filling from ascending index rows yields sorted graph.Sets directly.
+	ids := e.ix.IDs()
+	slot.cliques = make([]graph.Set, len(cliques))
+	for ci, c := range cliques {
+		slot.cliques[ci] = idxSet(e.f.Clique(c), ids)
+	}
+	if p.attachStart >= 0 {
+		slot.attachStart = idxSet(e.f.Clique(p.attachStart), ids)
+	}
+	if p.attachEnd >= 0 {
+		slot.attachEnd = idxSet(e.f.Clique(p.attachEnd), ids)
+	}
+
+	// Subpath nodes: members whose entire phi row lies on the path.
+	nodeIdxs := s.out[:0]
+	for _, v := range members {
+		all := true
+		for _, c := range e.f.PhiRow(v) {
+			if s.clMark[c] != s.clEpoch {
+				all = false
+				break
+			}
+		}
+		if all {
+			nodeIdxs = append(nodeIdxs, v)
+		}
+	}
+	sort.Slice(nodeIdxs, func(a, b int) bool { return nodeIdxs[a] < nodeIdxs[b] })
+	slot.nodeIdxs = append([]int32(nil), nodeIdxs...)
+	slot.nodes = idxSet(slot.nodeIdxs, ids)
+	s.out = nodeIdxs[:0]
+}
+
+func idxSet(idxs []int32, ids []graph.ID) graph.Set {
+	set := make(graph.Set, len(idxs))
+	for i, v := range idxs {
+		set[i] = ids[v]
+	}
+	return set
+}
+
+// pathDiameter is PathDiameterCapped in index space: a level-synchronous
+// BFS over the current (alive) graph from each node of the two end
+// cliques. best accumulates across anchors and the early-outs match the
+// reference, so the value is identical (it is a pure function of the
+// same graph, member set, anchor set, and cap).
+func (e *engine) pathDiameter(cliques, members []int32, s *peelScratch, cap int) int {
+	first := e.f.Clique(cliques[0])
+	lastC := e.f.Clique(cliques[len(cliques)-1])
+	// Merge the two ascending rows, deduped: the reference Union.
+	anchors := s.anchors[:0]
+	ai, bi := 0, 0
+	for ai < len(first) || bi < len(lastC) {
+		switch {
+		case bi >= len(lastC) || (ai < len(first) && first[ai] < lastC[bi]):
+			anchors = append(anchors, first[ai])
+			ai++
+		case ai >= len(first) || lastC[bi] < first[ai]:
+			anchors = append(anchors, lastC[bi])
+			bi++
+		default:
+			anchors = append(anchors, first[ai])
+			ai++
+			bi++
+		}
+	}
+	s.anchors = anchors
+	best := 0
+	for _, a := range anchors {
+		stamp := s.nextSeen()
+		reached := 0
+		q := append(s.queue[:0], a)
+		s.seen[a] = stamp
+		if s.nodeMark[a] == s.epoch {
+			reached++
+		}
+		levelStart, levelEnd := 0, 1
+		for depth := 0; depth < cap && levelEnd > levelStart && reached < len(members); depth++ {
+			for i := levelStart; i < levelEnd; i++ {
+				v := q[i]
+				for _, u := range e.ix.NeighborIndices(int(v)) {
+					if !e.alive[u] || s.seen[u] == stamp {
+						continue
+					}
+					s.seen[u] = stamp
+					q = append(q, u)
+					if s.nodeMark[u] == s.epoch {
+						reached++
+						if depth+1 > best {
+							best = depth + 1
+						}
+					}
+				}
+			}
+			levelStart, levelEnd = levelEnd, len(q)
+		}
+		s.queue = q[:0]
+		if reached < len(members) {
+			// Some path member is farther than cap from this anchor.
+			return cap
+		}
+		if best >= cap {
+			return cap
+		}
+	}
+	return best
+}
+
+// alphaOf computes α of the subgraph induced by members: MCS restricted
+// to the member set yields a perfect elimination order, then Gavril's
+// greedy scan counts a maximum independent set. Both are exact on
+// chordal inputs regardless of tie-breaking, and the member subgraph is
+// chordal (the forest build verified the alive graph), so the value
+// matches the reference's PathIndependenceNumber.
+func (e *engine) alphaOf(members []int32, s *peelScratch) int {
+	n := e.ix.NumNodes()
+	if len(s.order) < len(members) {
+		s.order = make([]int32, len(members))
+	}
+	order := s.order[:len(members)]
+	h := s.heap[:0]
+	for _, v := range members {
+		s.weight[v] = 0
+		h = alphaHeapPush(h, uint64(n-1-int(v)))
+	}
+	stamp := s.epoch
+	for i := len(members) - 1; i >= 0; i-- {
+		var v int32
+		for {
+			top := h[0]
+			h = alphaHeapPop(h)
+			w := int32(top >> 32)
+			idx := int32(n-1) - int32(top&0xffffffff)
+			if s.visited[idx] == stamp || s.weight[idx] != w {
+				continue
+			}
+			v = idx
+			break
+		}
+		order[i] = v
+		s.visited[v] = stamp
+		for _, u := range e.ix.NeighborIndices(int(v)) {
+			if s.nodeMark[u] != s.epoch || s.visited[u] == stamp {
+				continue
+			}
+			s.weight[u]++
+			h = alphaHeapPush(h, uint64(s.weight[u])<<32|uint64(int32(n-1)-u))
+		}
+	}
+	s.heap = h[:0]
+	alpha := 0
+	for _, v := range order {
+		if s.blocked[v] == stamp {
+			continue
+		}
+		alpha++
+		s.blocked[v] = stamp
+		for _, u := range e.ix.NeighborIndices(int(v)) {
+			if s.nodeMark[u] == s.epoch {
+				s.blocked[u] = stamp
+			}
+		}
+	}
+	return alpha
+}
+
+func alphaHeapPush(h []uint64, key uint64) []uint64 {
+	h = append(h, key)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] >= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func alphaHeapPop(h []uint64) []uint64 {
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < last && h[l] > h[big] {
+			big = l
+		}
+		if r < last && h[r] > h[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+	return h
+}
+
+// extractPaths computes the maximal binary paths of the current forest,
+// mirroring Forest.MaximalBinaryPaths/orderPath in index space: the
+// degree-≤2 components are discovered from their ascending clique ids,
+// linearized from the smallest endpoint, oriented (pendant leaf-first)
+// and classified identically, then sorted by smallest clique id.
+func (e *engine) extractPaths() {
+	nc := e.f.NumCliques
+	if cap(e.isBinary) < nc {
+		e.isBinary = make([]bool, nc)
+		e.seenCl = make([]bool, nc)
+		e.inComp = make([]bool, nc)
+	}
+	e.isBinary = e.isBinary[:nc]
+	e.seenCl = e.seenCl[:nc]
+	e.inComp = e.inComp[:nc]
+	for i := 0; i < nc; i++ {
+		e.isBinary[i] = e.f.Deg(int32(i)) <= 2
+		e.seenCl[i] = false
+		e.inComp[i] = false
+	}
+	e.paths = e.paths[:0]
+	e.pathStore = e.pathStore[:0]
+	for start := 0; start < nc; start++ {
+		if !e.isBinary[start] || e.seenCl[start] {
+			continue
+		}
+		comp := e.comp[:0]
+		comp = append(comp, int32(start))
+		e.seenCl[start] = true
+		for i := 0; i < len(comp); i++ {
+			for _, nb := range e.f.Nbrs(comp[i]) {
+				if e.isBinary[nb] && !e.seenCl[nb] {
+					e.seenCl[nb] = true
+					comp = append(comp, nb)
+				}
+			}
+		}
+		e.comp = comp
+		e.orderPath(comp)
+	}
+	sort.Slice(e.paths, func(i, j int) bool { return e.paths[i].minClique < e.paths[j].minClique })
+}
+
+// orderPath linearizes one binary component into e.paths/e.pathStore.
+func (e *engine) orderPath(comp []int32) {
+	for _, c := range comp {
+		e.inComp[c] = true
+	}
+	insideDeg := func(c int32) int {
+		d := 0
+		for _, nb := range e.f.Nbrs(c) {
+			if e.inComp[nb] {
+				d++
+			}
+		}
+		return d
+	}
+	ends := e.ends[:0]
+	for _, c := range comp {
+		if insideDeg(c) <= 1 {
+			ends = append(ends, c)
+		}
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+	e.ends = ends
+	start := ends[0] // single vertex: its own endpoint (degree 0)
+
+	off := int32(len(e.pathStore))
+	prev := int32(-1)
+	cur := start
+	for {
+		e.pathStore = append(e.pathStore, cur)
+		next := int32(-1)
+		for _, nb := range e.f.Nbrs(cur) {
+			if e.inComp[nb] && nb != prev {
+				next = nb
+				break
+			}
+		}
+		if next == -1 {
+			break
+		}
+		prev, cur = cur, next
+	}
+	ordered := e.pathStore[off:]
+
+	attachOf := func(c, exclude int32) int32 {
+		for _, nb := range e.f.Nbrs(c) {
+			if !e.inComp[nb] && nb != exclude {
+				return nb
+			}
+		}
+		return -1
+	}
+	p := pathIdx{off: off, ln: int32(len(ordered))}
+	if len(ordered) == 1 {
+		// A single binary vertex can attach to zero, one, or two outside
+		// vertices; distinguish them so lone leaves stay pendant.
+		p.attachStart = attachOf(ordered[0], -1)
+		p.attachEnd = attachOf(ordered[0], p.attachStart)
+		if p.attachEnd == -1 {
+			// At most one attachment: keep it at the end (leaf-first).
+			p.attachStart, p.attachEnd = -1, p.attachStart
+		}
+	} else {
+		p.attachStart = attachOf(ordered[0], -1)
+		p.attachEnd = attachOf(ordered[len(ordered)-1], -1)
+	}
+	if p.attachStart != -1 && p.attachEnd != -1 {
+		p.kind = cliquetree.Internal
+	} else {
+		p.kind = cliquetree.Pendant
+		// Orient pendant paths leaf-first.
+		if p.attachStart != -1 {
+			for i, j := 0, len(ordered)-1; i < j; i, j = i+1, j-1 {
+				ordered[i], ordered[j] = ordered[j], ordered[i]
+			}
+			p.attachStart, p.attachEnd = p.attachEnd, p.attachStart
+		}
+	}
+	p.minClique = ordered[0]
+	for _, c := range ordered {
+		if c < p.minClique {
+			p.minClique = c
+		}
+	}
+	for _, c := range comp {
+		e.inComp[c] = false
+	}
+	e.paths = append(e.paths, p)
+}

@@ -89,10 +89,19 @@ type Options struct {
 	// the layer's nodes are removed. It must not retain references into
 	// the run's internal state (events are plain values, so it cannot).
 	Trace func(LayerEvent)
+	// Workers bounds the path-measurement workers per iteration: 0 uses
+	// DefaultWorkers, 1 runs sequentially. The result is bit-identical
+	// for every worker count.
+	Workers int
+	// NoForests skips materializing Result.Forests (map-backed Forest
+	// values built only for callers that inspect them; the peeling
+	// decisions never read them).
+	NoForests bool
 }
 
-// Run executes the peeling process on a chordal graph.
-func Run(g *graph.Graph, opts Options) (*Result, error) {
+// runReference is the original map-backed implementation of Run, kept as
+// the oracle for equivalence tests of the CSR engine in csr.go.
+func runReference(g *graph.Graph, opts Options) (*Result, error) {
 	res := &Result{}
 	remaining := g.Clone()
 	iteration := 0
