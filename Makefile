@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race fuzz-smoke ci bench-smoke bench bench-json bench-compare trace-smoke chaos-smoke experiments
+.PHONY: all build test vet lint lint-budgets lint-bench lint-diff race fuzz-smoke ci bench-smoke bench bench-json bench-compare trace-smoke chaos-smoke experiments
 
 all: build test
 
@@ -14,10 +14,33 @@ vet:
 	$(GO) vet ./...
 
 # chordalvet: the repo's own determinism & concurrency linter
-# (cmd/chordalvet, stdlib-only). Runs all six analyzers over every
-# package in the module; see DESIGN.md "Determinism invariants".
+# (cmd/chordalvet, stdlib-only). Runs the full analyzer suite — including
+# the interprocedural hotalloc budgets, sharedwrite, and goroleak — over
+# every package in the module, writes the findings as a SARIF artifact
+# for code-scanning UIs, and checks the machine-readable findings against
+# the committed baseline. See DESIGN.md "Analysis substrate".
 lint:
-	$(GO) run ./cmd/chordalvet ./...
+	mkdir -p lint-report
+	$(GO) run ./cmd/chordalvet -sarif lint-report/chordalvet.sarif ./...
+	scripts/lintdiff.sh
+
+# Hot-path allocation budget usage table: one row per
+# //chordalvet:hotpath root with budget, current sites, and the largest
+# per-function contributors. Read this before raising a budget.
+lint-budgets:
+	$(GO) run ./cmd/chordalvet -budgets ./...
+
+# Wall-clock gate for the analysis substrate itself: loading,
+# type-checking, and analyzing the whole module must finish inside
+# CHORDALVET_BENCH_BUDGET (default 45s) so `make lint` stays cheap
+# enough to run on every push.
+lint-bench:
+	$(GO) test -run '^TestModuleAnalysisUnderBudget$$' -count=1 -v ./cmd/chordalvet
+
+# Diff current findings against the committed lint-baseline.json without
+# rerunning the rest of the lint target.
+lint-diff:
+	scripts/lintdiff.sh
 
 # Race-detector gate for the concurrent simulation core and everything
 # that drives it: the engine (dist), the algorithm core, peeling, the
@@ -37,10 +60,11 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzRecognize$$' -fuzztime 10s ./internal/interval
 	$(GO) test -run '^$$' -fuzz '^FuzzChordalPipeline$$' -fuzztime 10s ./internal/interval
 
-# The full CI gate: compile, vet, chordalvet, race-detect the concurrent
-# core, run the whole test suite, then the fault-injection smoke.
-# .github/workflows/ci.yml runs exactly this target.
-ci: build vet lint race test chaos-smoke bench-compare
+# The full CI gate: compile, vet, chordalvet (with SARIF artifact and
+# baseline diff), the analysis wall-clock gate, race-detect the
+# concurrent core, run the whole test suite, then the fault-injection
+# smoke. .github/workflows/ci.yml runs exactly this target.
+ci: build vet lint lint-bench race test chaos-smoke bench-compare
 
 # Quick-mode benchmark smoke: one iteration of the substrate and
 # experiment benchmarks plus the 20k-node end-to-end pipeline, with

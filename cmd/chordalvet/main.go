@@ -17,12 +17,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
+	"text/tabwriter"
 
 	"repro/internal/analysis"
 )
@@ -36,6 +39,9 @@ func run(args []string) int {
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("run", "", "run only analyzers whose name matches this regexp")
 	verbose := fs.Bool("v", false, "report the packages loaded and analyzers run")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout instead of text")
+	sarifOut := fs.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	budgets := fs.Bool("budgets", false, "print hot-path allocation budget usage and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -91,15 +97,101 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "chordalvet: running %s\n", a.Name)
 		}
 	}
+	rel := moduleRel(root)
+	if *budgets {
+		printBudgets(os.Stdout, analysis.BuildFacts(pkgs), rel)
+		return 0
+	}
 	diags := analysis.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *sarifOut != "" {
+		f, err := os.Create(*sarifOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chordalvet: %v\n", err)
+			return 2
+		}
+		werr := writeSARIF(f, analyzers, diags, rel)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "chordalvet: writing SARIF: %v\n", werr)
+			return 2
+		}
+	}
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags, rel); err != nil {
+			fmt.Fprintf(os.Stderr, "chordalvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "chordalvet: %d issue(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// moduleRel maps absolute diagnostic filenames to stable module-relative
+// slash paths, so JSON/SARIF output is identical across checkouts.
+func moduleRel(root string) func(string) string {
+	return func(filename string) string {
+		if r, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+		return filepath.ToSlash(filename)
+	}
+}
+
+// finding is one diagnostic in the machine-readable -json output; the
+// lint-diff baseline (scripts/lintdiff.sh) compares arrays of these.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w io.Writer, diags []analysis.Diagnostic, rel func(string) string) error {
+	findings := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, finding{
+			File:     rel(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// printBudgets renders the hot-path allocation accounting as a table:
+// one row per //chordalvet:hotpath root with its budget, current usage,
+// region size, and the largest per-function contributors.
+func printBudgets(w io.Writer, facts *analysis.Facts, rel func(string) string) {
+	reports := analysis.HotPathReports(facts)
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "HOT ROOT\tWHERE\tBUDGET\tSITES\tFUNCS\tBREAKDOWN")
+	for _, r := range reports {
+		pos := facts.Graph.Fset.Position(r.Root.Pos)
+		budget := fmt.Sprintf("%d", r.Root.Budget)
+		if r.Root.Budget < 0 {
+			budget = "malformed"
+		}
+		fmt.Fprintf(tw, "%s\t%s:%d\t%s\t%d\t%d\t%s\n",
+			r.Root.Node.Name(), rel(pos.Filename), pos.Line, budget, r.Sites, r.Region, r.Breakdown())
+	}
+	tw.Flush()
+	if len(reports) == 0 {
+		fmt.Fprintln(w, "no //chordalvet:hotpath roots in this module")
+	}
 }
 
 // findModuleRoot walks upward from dir to the nearest go.mod.

@@ -1,7 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -33,6 +40,133 @@ func TestListAndBadFlags(t *testing.T) {
 	}
 	if got := run([]string{"-run", "nosuchanalyzer"}); got != 2 {
 		t.Errorf("run(-run nosuchanalyzer) = %d, want 2", got)
+	}
+}
+
+func TestJSONEncoding(t *testing.T) {
+	diags := []analysis.Diagnostic{{
+		Pos:      token.Position{Filename: filepath.FromSlash("/mod/pkg/a.go"), Line: 3, Column: 7},
+		Analyzer: "hotalloc",
+		Message:  "over budget",
+	}}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, diags, moduleRel(filepath.FromSlash("/mod"))); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	var got []finding
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	want := finding{File: "pkg/a.go", Line: 3, Column: 7, Analyzer: "hotalloc", Message: "over budget"}
+	if len(got) != 1 || got[0] != want {
+		t.Errorf("writeJSON = %+v, want [%+v]", got, want)
+	}
+
+	// An empty run must still be a JSON array, so the lint-diff baseline
+	// for a clean tree is the literal "[]".
+	buf.Reset()
+	if err := writeJSON(&buf, nil, moduleRel("/")); err != nil {
+		t.Fatalf("writeJSON(empty): %v", err)
+	}
+	if s := strings.TrimSpace(buf.String()); s != "[]" {
+		t.Errorf("empty findings encoded as %q, want []", s)
+	}
+}
+
+func TestSARIFEncoding(t *testing.T) {
+	diags := []analysis.Diagnostic{{
+		Pos:      token.Position{Filename: filepath.FromSlash("/mod/pkg/a.go"), Line: 3, Column: 7},
+		Analyzer: "goroleak",
+		Message:  "no join evidence",
+	}}
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, analysis.All(), diags, moduleRel(filepath.FromSlash("/mod"))); err != nil {
+		t.Fatalf("writeSARIF: %v", err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("SARIF version=%q runs=%d, want 2.1.0 with one run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if got, want := len(run.Tool.Driver.Rules), len(analysis.All()); got != want {
+		t.Errorf("SARIF carries %d rules, want one per analyzer (%d)", got, want)
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("SARIF has %d results, want 1", len(run.Results))
+	}
+	res := run.Results[0]
+	loc := res.Locations[0].PhysicalLocation
+	if res.RuleID != "goroleak" || loc.ArtifactLocation.URI != "pkg/a.go" || loc.Region.StartLine != 3 {
+		t.Errorf("SARIF result = rule %q uri %q line %d, want goroleak pkg/a.go 3",
+			res.RuleID, loc.ArtifactLocation.URI, loc.Region.StartLine)
+	}
+}
+
+// TestFlagsOverFixtureModule drives the new flags end to end over the
+// hotalloc fixture module, which deliberately contains findings.
+func TestFlagsOverFixtureModule(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "analysis", "testdata", "hotalloc")
+	sarif := filepath.Join(t.TempDir(), "out.sarif")
+
+	if got := run([]string{"-run", "hotalloc", "-sarif", sarif, fixture}); got != 1 {
+		t.Errorf("run(-sarif over hotalloc fixture) = %d, want 1 (fixture has findings)", got)
+	}
+	data, err := os.ReadFile(sarif)
+	if err != nil {
+		t.Fatalf("SARIF file not written: %v", err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF file is not valid JSON: %v", err)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Fatalf("SARIF file has no results for a fixture with findings")
+	}
+	for _, res := range log.Runs[0].Results {
+		uri := res.Locations[0].PhysicalLocation.ArtifactLocation.URI
+		if strings.HasPrefix(uri, "/") || strings.Contains(uri, "\\") {
+			t.Errorf("SARIF URI %q is not a module-relative slash path", uri)
+		}
+	}
+
+	if got := run([]string{"-budgets", fixture}); got != 0 {
+		t.Errorf("run(-budgets) = %d, want 0 (informational)", got)
+	}
+	if got := run([]string{"-sarif", filepath.Join(t.TempDir(), "no", "such", "dir", "x.sarif"), fixture}); got != 2 {
+		t.Errorf("run(-sarif into missing dir) = %d, want 2", got)
+	}
+}
+
+// TestModuleAnalysisUnderBudget is the `make lint-bench` gate: loading,
+// type-checking, and analyzing the whole module must finish inside a
+// fixed wall-clock budget, so the analyzers stay cheap enough to run on
+// every push. Override the budget with CHORDALVET_BENCH_BUDGET (a Go
+// duration) when profiling slower machines.
+func TestModuleAnalysisUnderBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full module analysis in -short mode")
+	}
+	budget := 45 * time.Second
+	if s := os.Getenv("CHORDALVET_BENCH_BUDGET"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("bad CHORDALVET_BENCH_BUDGET %q: %v", s, err)
+		}
+		budget = d
+	}
+	start := time.Now()
+	pkgs, err := analysis.LoadModule("../..")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	_ = analysis.Run(pkgs, analysis.All())
+	if elapsed := time.Since(start); elapsed > budget {
+		t.Errorf("full-module analysis took %v, over the %v budget", elapsed, budget)
+	} else {
+		t.Logf("full-module analysis: %v (budget %v)", elapsed, budget)
 	}
 }
 

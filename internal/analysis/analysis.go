@@ -29,7 +29,10 @@ import (
 	"strings"
 )
 
-// Analyzer is one named check run over every loaded package.
+// Analyzer is one named check. Per-package analyzers set Run and are
+// invoked once per loaded package; module analyzers set RunModule and
+// are invoked once over the whole module with the interprocedural facts
+// (call graph + summaries). An analyzer sets exactly one of the two.
 type Analyzer struct {
 	// Name is the analyzer's identifier, used in output and in
 	// chordalvet:ignore directives.
@@ -38,6 +41,8 @@ type Analyzer struct {
 	Doc string
 	// Run inspects a single package and reports diagnostics via the pass.
 	Run func(*Pass)
+	// RunModule inspects the whole module at once.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -48,8 +53,32 @@ type Pass struct {
 	Pkg      *types.Package
 	// PkgPath is the package's import path within the module.
 	PkgPath string
+	// Package is the loaded package wrapper, for resolving callees
+	// against the module-wide Facts.
+	Package *Package
 	Info    *types.Info
-	diags   *[]Diagnostic
+	// Facts is the module-wide interprocedural state (shared by every
+	// pass of one Run).
+	Facts *Facts
+	diags *[]Diagnostic
+}
+
+// ModulePass carries one module analyzer's view of the whole module.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	Facts    *Facts
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // Reportf records a diagnostic at pos.
@@ -81,27 +110,53 @@ func All() []*Analyzer {
 		WallClock,
 		FloatCmp,
 		InboxEscape,
+		HotAlloc,
+		SharedWrite,
+		GoroLeak,
 	}
 }
 
 // Run executes the given analyzers over the loaded packages, applies
 // chordalvet:ignore directives, and returns the surviving diagnostics
-// sorted by position.
+// sorted by position. The interprocedural facts (call graph, summaries,
+// hotpath directives) are built once and shared by every pass.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	if len(pkgs) == 0 {
+		return nil
+	}
 	var diags []Diagnostic
+	facts := BuildFacts(pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				PkgPath:  pkg.Path,
+				Package:  pkg,
 				Info:     pkg.Info,
+				Facts:    facts,
 				diags:    &diags,
 			}
 			a.Run(pass)
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{
+			Analyzer: a,
+			Fset:     facts.Graph.Fset,
+			Pkgs:     pkgs,
+			Facts:    facts,
+			diags:    &diags,
+		}
+		a.RunModule(mp)
 	}
 	diags = filterIgnored(pkgs, analyzers, diags)
 	sort.Slice(diags, func(i, j int) bool {

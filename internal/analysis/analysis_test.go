@@ -112,6 +112,9 @@ func TestAnalyzers(t *testing.T) {
 		{WallClock, "wallclock"},
 		{FloatCmp, "floatcmp"},
 		{InboxEscape, "inboxescape"},
+		{HotAlloc, "hotalloc"},
+		{SharedWrite, "sharedwrite"},
+		{GoroLeak, "goroleak"},
 	}
 	names := make(map[string]bool)
 	for _, tc := range tests {
@@ -162,8 +165,11 @@ func TestPathHasSegments(t *testing.T) {
 func TestAnalyzerMetadata(t *testing.T) {
 	seen := make(map[string]bool)
 	for _, a := range All() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" {
 			t.Errorf("analyzer %+v is missing metadata", a)
+		}
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("analyzer %s must set exactly one of Run and RunModule", a.Name)
 		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %s", a.Name)

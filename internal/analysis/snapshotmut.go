@@ -12,6 +12,21 @@ import (
 // writing into either corrupts other readers (a data race under the
 // pool) and silently desynchronizes the three execution schedules that
 // the determinism cross-checks promise are bit-identical.
+//
+// Since the substrate rework the check is interprocedural, in both
+// directions through the call graph:
+//
+//   - sources: a call to any module function whose summary says it
+//     returns a shared view (a wrapper around an accessor, resolved
+//     transitively) taints its result exactly like a direct accessor
+//     call;
+//   - sinks: passing a tainted view to a module function whose summary
+//     says it mutates that parameter (element writes, in-place sorts,
+//     appends, deletes — anywhere down its own call chain) is reported
+//     at the call site, including method receivers.
+//
+// The intra-function checks (direct writes, sorts, appends, copies)
+// remain as the base case.
 var SnapshotMut = &Analyzer{
 	Name: "snapshotmut",
 	Doc:  "in-place mutation of shared graph snapshot slices (Indexed views, cached Neighbors)",
@@ -58,6 +73,7 @@ func runSnapshotMut(pass *Pass) {
 					}
 				}
 			case *ast.CallExpr:
+				reportMutatingCallee(pass, viewExpr, v)
 				if len(v.Args) == 0 {
 					return true
 				}
@@ -82,6 +98,31 @@ func runSnapshotMut(pass *Pass) {
 			return true
 		})
 	})
+}
+
+// reportMutatingCallee is the interprocedural sink check: a tainted view
+// handed (as argument or receiver) to a module function whose summary
+// mutates that parameter.
+func reportMutatingCallee(pass *Pass, viewExpr func(ast.Expr) (string, bool), call *ast.CallExpr) {
+	if pass.Facts == nil || pass.Package == nil {
+		return
+	}
+	callee, cs := pass.Facts.calleeSummary(pass.Package, call)
+	if cs == nil {
+		return
+	}
+	for pos, arg := range callArgExprs(pass.Package, call) {
+		if arg == nil {
+			continue
+		}
+		j := argParamIndex(callee, pos)
+		if j < 0 || j >= len(cs.MutatesParam) || !cs.MutatesParam[j] {
+			continue
+		}
+		if src, ok := viewExpr(arg); ok {
+			pass.Reportf(call.Pos(), "passes the shared snapshot view from %s to %s, which mutates that parameter; copy before the call", src, callee.Name())
+		}
+	}
 }
 
 // collectViewTaints returns the local variables bound (possibly through
@@ -121,14 +162,20 @@ func collectViewTaints(pass *Pass, body *ast.BlockStmt) map[types.Object]string 
 }
 
 // taintedViewExpr reports whether e denotes a shared view: a direct
-// accessor call, a tainted variable, or a re-slice of either. The string
-// names the accessor for diagnostics.
+// accessor call, a call to a module function summarized as returning a
+// view, a tainted variable, or a re-slice of any of those. The string
+// names the originating accessor for diagnostics.
 func taintedViewExpr(pass *Pass, tainted map[types.Object]string, e ast.Expr) (string, bool) {
 	switch v := ast.Unparen(e).(type) {
 	case *ast.CallExpr:
 		pkgName, typeName, method := recvTypeName(pass, v)
 		if sharedViewAccessors[[3]string{pkgName, typeName, method}] {
 			return pkgName + "." + typeName + "." + method, true
+		}
+		if pass.Facts != nil && pass.Package != nil {
+			if _, cs := pass.Facts.calleeSummary(pass.Package, v); cs != nil && cs.ReturnsView {
+				return cs.ViewSource, true
+			}
 		}
 	case *ast.Ident:
 		if obj := pass.Info.ObjectOf(v); obj != nil {

@@ -1,0 +1,123 @@
+// Package gorofix seeds spawned goroutines with and without join
+// evidence: WaitGroup pairs, channel handoffs, ownership transfer
+// through parameters, and the fire-and-forget shapes goroleak flags.
+package gorofix
+
+import "sync"
+
+func work() {}
+
+// goodWaitGroup is the engine-shard shape: Add, spawn with deferred
+// Done, Wait in the same function.
+func goodWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// goodChannel hands the result back over a channel the spawner
+// receives from.
+func goodChannel() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 42
+	}()
+	return <-ch
+}
+
+// goodClose signals completion by closing a channel the spawner drains.
+func goodClose() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// goodRange streams results; the spawner's range drains until close.
+func goodRange(n int) int {
+	ch := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// goodParamHandle receives the WaitGroup from its caller: the join is
+// the owner's obligation, not this function's.
+func goodParamHandle(wg *sync.WaitGroup, out []int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out[0] = 1
+	}()
+}
+
+// goodDirectSpawn passes the channel to the spawned function; the
+// spawner drains it.
+func drain(ch chan int) {
+	ch <- 1
+}
+
+func goodDirectSpawn() int {
+	ch := make(chan int)
+	go drain(ch)
+	return <-ch
+}
+
+// badFireAndForget has no join signal at all.
+func badFireAndForget() {
+	go func() { // want `goroutine has no join evidence \(the spawned body neither calls Done nor sends on a channel\)`
+		work()
+	}()
+}
+
+// badDoneWithoutWait signals Done on a locally declared WaitGroup that
+// nobody waits on.
+func badDoneWithoutWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine has no join evidence \(the spawned body signals WaitGroup.Done but the enclosing function never waits on that handle\)`
+		defer wg.Done()
+		work()
+	}()
+}
+
+// badSendWithoutReceive sends on a local channel the spawner never
+// reads.
+func badSendWithoutReceive() chan int {
+	ch := make(chan int, 1)
+	go func() { // want `goroutine has no join evidence \(the spawned body signals channel send but the enclosing function never waits on that handle\)`
+		ch <- 1
+	}()
+	return ch
+}
+
+// badDirectSpawn launches a module function with no handle arguments.
+func badDirectSpawn() {
+	go work() // want `goroutine has no join evidence \(the spawned body neither calls Done nor sends on a channel\)`
+}
+
+// okIgnoredDaemon is the justified-daemon shape.
+func okIgnoredDaemon() {
+	//chordalvet:ignore goroleak intentional daemon for the fixture
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

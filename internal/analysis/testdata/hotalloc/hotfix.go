@@ -1,0 +1,71 @@
+// Package hotfix seeds hot paths with committed allocation budgets:
+// roots within budget stay silent, over-budget regions and malformed
+// directives are reported, and coldpath annotations prune fallbacks.
+package hotfix
+
+import "sync"
+
+// okRoot stays within budget: the 3-arg make is the region's only
+// counted site — the appends into it carry prealloc evidence.
+//
+//chordalvet:hotpath budget=1 scratch-reuse kernel stand-in
+func okRoot(n int) []int {
+	buf := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}
+
+//chordalvet:hotpath budget=1 over budget through a static callee // want `hot path overRoot has 3 reachable allocation sites, over its budget of 1`
+func overRoot(n int) map[int][]int {
+	m := make(map[int][]int)
+	fill(m, n)
+	return m
+}
+
+// fill contributes two sites to every hot region that reaches it: the
+// slice literal and the growing append.
+func fill(m map[int][]int, n int) {
+	seed := []int{1, 2, 3}
+	var out []int
+	out = append(out, seed...)
+	m[n] = out
+}
+
+// prunedRoot calls an annotated cold fallback; its allocation sites do
+// not count against the budget.
+//
+//chordalvet:hotpath budget=1 cold helper pruned from the region
+func prunedRoot(n int) []int {
+	buf := make([]int, 0, n)
+	return coldBuild(buf)
+}
+
+// coldBuild is the materializing fallback: allowed to allocate.
+//
+//chordalvet:coldpath rare fallback materialization, amortized away
+func coldBuild(buf []int) []int {
+	extra := map[int]int{0: 1}
+	for k := range extra {
+		buf = append(buf, k)
+	}
+	return buf
+}
+
+// spawnRoot reaches the worker literal over the goroutine edge: the
+// capturing closure is one site, the worker's make is the second.
+//
+//chordalvet:hotpath budget=0 spawn edge traversal // want `hot path spawnRoot has 2 reachable allocation sites, over its budget of 0`
+func spawnRoot(res []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res[0] = len(make([]byte, 8))
+	}()
+	wg.Wait()
+}
+
+//chordalvet:hotpath budget=lots not a number // want `malformed hotpath directive on badRoot: want //chordalvet:hotpath budget=N`
+func badRoot() {}

@@ -1,0 +1,12 @@
+// Package mut is a cross-package mutator: the interprocedural sink
+// check must see through the package boundary.
+package mut
+
+import "snapfix/graph"
+
+// Zero clears the first element in place.
+func Zero(s []graph.ID) {
+	if len(s) > 0 {
+		s[0] = 0
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"snapfix/dist"
 	"snapfix/graph"
+	"snapfix/mut"
 	"snapfix/view"
 )
 
@@ -97,4 +98,53 @@ func sumBallRow(b *view.Ball, r int32) int32 {
 		total += nb
 	}
 	return total
+}
+
+// The interprocedural cases: taint flows through wrapper returns
+// (sources) and into mutating callees (sinks), including across
+// package boundaries.
+
+// viewRows is a wrapper around an accessor; its results are shared
+// views exactly like direct accessor calls.
+func viewRows(ix *graph.Indexed) []graph.ID { return ix.IDs() }
+
+func writesThroughWrapper(ix *graph.Indexed) {
+	ids := viewRows(ix)
+	ids[0] = 1 // want `writes into the shared snapshot view from graph.Indexed.IDs`
+}
+
+// zeroFirst mutates its parameter in place, so handing it a view is a
+// mutation of the view.
+func zeroFirst(s []graph.ID) {
+	if len(s) > 0 {
+		s[0] = 0
+	}
+}
+
+func passesViewToMutator(ix *graph.Indexed) {
+	zeroFirst(ix.IDs()) // want `passes the shared snapshot view from graph.Indexed.IDs to zeroFirst, which mutates that parameter`
+}
+
+func passesViewCrossPackage(ix *graph.Indexed) {
+	mut.Zero(ix.IDs()) // want `passes the shared snapshot view from graph.Indexed.IDs to Zero, which mutates that parameter`
+}
+
+func passesAliasToMutator(ix *graph.Indexed) {
+	ids := viewRows(ix)
+	tail := ids[1:]
+	mut.Zero(tail) // want `passes the shared snapshot view from graph.Indexed.IDs to Zero, which mutates that parameter`
+}
+
+// Mutating an owned copy through the same helpers is the blessed idiom.
+func mutatesOwnedCopy(ix *graph.Indexed) {
+	cp := append([]graph.ID(nil), ix.IDs()...)
+	zeroFirst(cp)
+	mut.Zero(cp)
+}
+
+// readLen only reads its parameter; passing a view through is fine.
+func readLen(s []graph.ID) int { return len(s) }
+
+func passesViewToReader(ix *graph.Indexed) int {
+	return readLen(ix.IDs())
 }

@@ -155,6 +155,7 @@ type nodeCliques struct {
 	err   error
 }
 
+//chordalvet:coldpath cache construction, once per iteration or on the rare private fallback
 func newCliqueCache(gi *graph.Graph, ix *graph.Indexed) *cliqueCache {
 	return &cliqueCache{
 		gi:    gi,
@@ -187,6 +188,8 @@ func (cc *cliqueCache) intern(c graph.Set) int {
 
 // computeNode is the pure part of a node's view: no cache mutation, so
 // prepopulate runs it concurrently.
+//
+//chordalvet:coldpath clique-view computation is amortized once per node; hot centers hit the prepopulated cache
 func (cc *cliqueCache) computeNode(u graph.ID) *nodeCliques {
 	phi, err := cliquetree.MaximalCliquesContaining(cc.gi, u)
 	if err != nil {
@@ -198,6 +201,7 @@ func (cc *cliqueCache) computeNode(u graph.ID) *nodeCliques {
 	}
 }
 
+//chordalvet:coldpath clique interning runs once per node at cache fill, not per center
 func (cc *cliqueCache) internNode(nv *nodeCliques) {
 	nv.ids = make([]int, len(nv.phi))
 	for i, c := range nv.phi {
@@ -722,6 +726,8 @@ type decideResult struct {
 // RoundStart(0, shards), the per-shard Start/End brackets from the
 // workers, then RoundEnd with Done = the number of centers peeled, and
 // RunEnd — or no RoundEnd/RunEnd on error, like a failed engine run.
+//
+//chordalvet:hotpath budget=33 decide kernel: per-center work must stay on scratch reuse
 func runDecideStage(ix *graph.Indexed, know []*dist.Knowledge, cache *cliqueCache, sharedBall *view.Ball, scratches []*decideScratch, centers []int32, undecidedIdx []bool, undecided func(graph.ID) bool, rule decideRule, radius, workers int, o dist.RoundObserver, results []decideResult) ([]decideResult, error) {
 	n := len(centers)
 	shards := shardCount(n, workers)

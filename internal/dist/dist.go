@@ -445,6 +445,8 @@ func (e *Engine) Run(maxRounds int) (*Result, error) {
 // equivalent. The observer's round/shard hooks bracket the work
 // (per-node mode reports zero shards: with one goroutine per node there
 // is no shard boundary worth timing).
+//
+//chordalvet:hotpath budget=3 engine round loop: runs once per round per protocol
 func (e *Engine) step(obs RoundObserver, round int, fn func(i int)) int {
 	n := len(e.progs)
 	mode := e.Mode

@@ -23,6 +23,8 @@ type Indexed struct {
 
 // NewIndexed takes a snapshot of g. The snapshot orders nodes by
 // increasing ID, matching g.Nodes().
+//
+//chordalvet:coldpath snapshot construction runs once per iteration, not per center
 func NewIndexed(g *Graph) *Indexed {
 	ids := g.Nodes()
 	n := len(ids)

@@ -66,6 +66,10 @@ func Serve(addr string, reg *Registry) (shutdown func() error, bound string, err
 		return nil, "", fmt.Errorf("pprof server: %w", err)
 	}
 	srv := &http.Server{Handler: mux}
+	// The server goroutine is an intentional daemon: it lives until the
+	// caller invokes the returned srv.Close, which unblocks Serve with
+	// ErrServerClosed — the join handle is the shutdown func itself.
+	//chordalvet:ignore goroleak joined via the returned srv.Close shutdown func
 	go func() { _ = srv.Serve(ln) }()
 	return srv.Close, ln.Addr().String(), nil
 }

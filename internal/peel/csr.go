@@ -225,6 +225,8 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 // peelOnce measures every maximal binary path of the current forest and
 // assembles the iteration's layer. The take rules and recorded fields
 // mirror the reference peelOnce exactly.
+//
+//chordalvet:hotpath budget=44 peel workers: path measurement reuses per-worker scratch
 func (e *engine) peelOnce(iteration int, opts Options, last bool) *Layer {
 	e.extractPaths()
 	diamCap := opts.InternalDiameter

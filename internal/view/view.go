@@ -107,6 +107,8 @@ func (b *Ball) RowOf(idx int32) int32 {
 // Knowledge.FilteredBallGraph. n is the snapshot's node count. Rows are
 // in record order; records beyond the first one past radius are
 // ignored, and duplicate records keep their first occurrence.
+//
+//chordalvet:hotpath budget=6 view rebuild: epoch reset keeps rebuilds allocation-free steady-state
 func (b *Ball) BuildFromSource(src Source, n, radius int, keep []bool) {
 	b.reset(n)
 	m := src.RecordCount()
@@ -146,6 +148,8 @@ func (b *Ball) BuildFromSource(src Source, n, radius int, keep []bool) {
 // BuildFromIndexed rebuilds the ball as the subgraph of a snapshot
 // induced by the kept indices (nil keeps all). Rows are in snapshot
 // order, so row order coincides with ascending node ID.
+//
+//chordalvet:hotpath budget=6 view rebuild: epoch reset keeps rebuilds allocation-free steady-state
 func (b *Ball) BuildFromIndexed(ix *graph.Indexed, keep []bool) {
 	n := ix.NumNodes()
 	b.reset(n)
@@ -172,6 +176,8 @@ func (b *Ball) BuildFromIndexed(ix *graph.Indexed, keep []bool) {
 // the snapshot's index -> ID table). The decide kernel uses it only on
 // the rare α-rule path, where the independence-number routine needs a
 // real graph; everything hot stays inside the CSR.
+//
+//chordalvet:coldpath α-rule materialization only, amortized over few paths per run
 func (b *Ball) InducedGraph(ids []graph.ID, rows []int32) *graph.Graph {
 	g := graph.New()
 	in := make([]bool, b.NumRows())

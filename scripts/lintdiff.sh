@@ -1,0 +1,43 @@
+#!/bin/sh
+# lintdiff.sh — fail when chordalvet findings drift from the committed
+# baseline. The baseline for a clean tree is the literal JSON array [],
+# so any new finding (or any silently vanished suppression) shows up as
+# a diff hunk with file, line, analyzer, and message.
+#
+# Usage: scripts/lintdiff.sh [baseline]     (default: lint-baseline.json)
+#
+# To accept a deliberate change, regenerate the baseline and commit it:
+#   go run ./cmd/chordalvet -json ./... > lint-baseline.json
+set -eu
+
+cd "$(dirname "$0")/.."
+base="${1:-lint-baseline.json}"
+
+if [ ! -f "$base" ]; then
+    echo "lintdiff: baseline $base not found" >&2
+    exit 2
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# chordalvet exits 1 when findings exist; the diff against the baseline
+# decides pass/fail here, so tolerate that exit code (but not loader
+# failures, which exit 2).
+set +e
+go run ./cmd/chordalvet -json ./... >"$tmp"
+rc=$?
+set -e
+if [ "$rc" -gt 1 ]; then
+    echo "lintdiff: chordalvet failed to run (exit $rc)" >&2
+    exit "$rc"
+fi
+
+if ! diff -u "$base" "$tmp"; then
+    echo "" >&2
+    echo "lintdiff: findings differ from $base" >&2
+    echo "lintdiff: if the change is deliberate, refresh the baseline:" >&2
+    echo "    go run ./cmd/chordalvet -json ./... > $base" >&2
+    exit 1
+fi
+echo "lintdiff: findings match $base"
