@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-budgets lint-bench lint-diff race fuzz-smoke ci bench-smoke bench bench-json bench-compare trace-smoke chaos-smoke experiments
+.PHONY: all build test vet lint lint-budgets lint-bench lint-diff race fuzz-smoke ci bench-smoke bench bench-json bench-compare trace-smoke chaos-smoke tracestat-smoke experiments
 
 all: build test
 
@@ -49,7 +49,7 @@ lint-diff:
 # parallel decide kernel reads concurrently, and the clique-tree stage
 # the pipeline shards.
 race:
-	$(GO) test -race ./internal/dist ./internal/core ./internal/peel ./internal/exp ./internal/graph ./internal/view ./internal/cliquetree .
+	$(GO) test -race ./internal/dist ./internal/core ./internal/peel ./internal/exp ./internal/graph ./internal/view ./internal/cliquetree ./internal/obs ./cmd/tracestat .
 
 # Short fuzz runs of every Fuzz* target (10s each) so the fuzzers
 # execute somewhere instead of shipping as dormant seed-corpus tests.
@@ -63,8 +63,9 @@ fuzz-smoke:
 # The full CI gate: compile, vet, chordalvet (with SARIF artifact and
 # baseline diff), the analysis wall-clock gate, race-detect the
 # concurrent core, run the whole test suite, then the fault-injection
-# smoke. .github/workflows/ci.yml runs exactly this target.
-ci: build vet lint lint-bench race test chaos-smoke bench-compare
+# and trace-analysis smokes. .github/workflows/ci.yml runs exactly this
+# target.
+ci: build vet lint lint-bench race test chaos-smoke tracestat-smoke bench-compare
 
 # Quick-mode benchmark smoke: one iteration of the substrate and
 # experiment benchmarks plus the 20k-node end-to-end pipeline, with
@@ -80,13 +81,15 @@ bench:
 # benchmarks plus the 100k-node stage benchmarks and the end-to-end
 # pipelines (20k smoke, 1M headline) through `go test -json`,
 # post-processed by cmd/benchjson into the repo's perf-trajectory
-# format. BENCH_6.json in the repo root is a recorded run of exactly
-# this target.
+# format. BENCH_7.json in the repo root is a recorded run of exactly
+# this target (it adds the BenchmarkPipelineN20kMetrics A/B row — the
+# 'BenchmarkPipelineN20k' pattern matches it by substring — so the
+# nil-observer vs -metrics delta is recorded alongside the trend).
 # The substrate and stage/pipeline sweeps run as two separate `go test`
 # processes (benchjson accepts the concatenated streams): the 10^6-node
 # pipeline leaves a multi-GB heap behind, and sharing a process would
 # taint the substrate numbers recorded under BENCH_5's conditions.
-BENCHJSON_OUT ?= BENCH_6.json
+BENCHJSON_OUT ?= BENCH_7.json
 bench-json:
 	( $(GO) test -run '^$$' -bench 'BenchmarkEngineRound|BenchmarkFloodRadius|BenchmarkFloodN100k|BenchmarkFloodBallCollection|BenchmarkDistributedPruneN256|BenchmarkPeelingN4096' \
 		-benchmem -json . ; \
@@ -97,18 +100,24 @@ bench-json:
 # recent recorded runs. >10% regressions on any metric print a warning
 # to stderr but never fail the target — this is a trend report, not a
 # gate; missing record files skip the comparison cleanly.
-BENCHJSON_BASE ?= BENCH_5.json
+BENCHJSON_BASE ?= BENCH_6.json
 bench-compare:
 	$(GO) run ./cmd/benchjson compare $(BENCHJSON_BASE) $(BENCHJSON_OUT)
 
 # Observability smoke: run the tracing workload in quick mode with CPU
-# and heap profiling, leaving the artifacts in ./trace-smoke/. CI uploads
-# this directory so every push records a round trace and profiles.
+# and heap profiling, leaving the artifacts in ./trace-smoke/, then
+# validate the trace with `tracestat check` (every line parses, schema
+# version consistent, round numbers monotone per phase) and render the
+# aggregate report. CI uploads this directory so every push records a
+# round trace, profiles, and the per-phase/per-kernel tables.
 trace-smoke:
 	mkdir -p trace-smoke
 	$(GO) run ./cmd/experiments -quick -trace trace-smoke/trace.jsonl \
 		-cpuprofile trace-smoke/cpu.pprof -memprofile trace-smoke/mem.pprof
 	@wc -l trace-smoke/trace.jsonl
+	$(GO) run ./cmd/tracestat check trace-smoke/trace.jsonl
+	$(GO) run ./cmd/tracestat report trace-smoke/trace.jsonl > trace-smoke/tracestat.txt
+	@head -4 trace-smoke/tracestat.txt
 
 # Fault-injection smoke: run the -faults trace workload in quick mode
 # (fault-injected pruning on the Figure-1 graph plus a retransmitting
@@ -120,6 +129,21 @@ chaos-smoke:
 	$(GO) run ./cmd/experiments -quick -trace chaos-smoke/trace.jsonl \
 		-faults drop=0.2,dup=0.2,delay=2 -fault-seed 7
 	@wc -l chaos-smoke/trace.jsonl
+
+# Trace-analysis smoke: the determinism gate behind `tracestat diff`.
+# Two runs of the same-seed quick workload — one with -metrics, so the
+# traces differ in every timing and in the v3 measurement records — must
+# produce zero divergence in the deterministic round/layer records;
+# both traces must pass `tracestat check`. The -metrics run's aggregate
+# report lands in ./tracestat-smoke/report.txt, which CI uploads.
+tracestat-smoke:
+	mkdir -p tracestat-smoke
+	$(GO) run ./cmd/experiments -quick -trace tracestat-smoke/a.jsonl
+	$(GO) run ./cmd/experiments -quick -metrics -trace tracestat-smoke/b.jsonl \
+		2> tracestat-smoke/report.txt
+	$(GO) run ./cmd/tracestat check tracestat-smoke/a.jsonl tracestat-smoke/b.jsonl
+	$(GO) run ./cmd/tracestat diff tracestat-smoke/a.jsonl tracestat-smoke/b.jsonl
+	$(GO) run ./cmd/tracestat chrome tracestat-smoke/b.jsonl > tracestat-smoke/chrome.json
 
 # Full experiment tables as recorded in EXPERIMENTS.md (slow).
 experiments:

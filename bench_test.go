@@ -15,6 +15,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/peel"
 )
 
@@ -291,6 +292,33 @@ func benchPipeline(b *testing.B, g *graph.Graph) {
 // BenchmarkPipelineN20k is the CI-sized smoke variant of the million-node
 // pipeline benchmark (make bench-smoke).
 func BenchmarkPipelineN20k(b *testing.B) { benchPipeline(b, subtreeGraph(b, 20_000, 42)) }
+
+// BenchmarkPipelineN20kMetrics is the -metrics A/B counterpart of
+// BenchmarkPipelineN20k: the same workload with a deep-metrics collector
+// attached (kernel spans, phase timelines, mem snapshots, trace encoding
+// to io.Discard). The ns/op delta against the nil-observer run above is
+// the total cost of observing the pipeline; the acceptance bar is <5%.
+func BenchmarkPipelineN20kMetrics(b *testing.B) {
+	g := subtreeGraph(b, 20_000, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := obs.NewCollector()
+		c.SetTrace(io.Discard)
+		c.SetMemStats(true)
+		c.SetPhase("color")
+		if _, err := core.ColorChordalObserved(g, 0.5, c); err != nil {
+			b.Fatal(err)
+		}
+		c.SetPhase("mis")
+		if _, err := core.MISChordalWithOptions(g, 0.5, core.ChordalMISOptions{Observer: c}); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkPipelineN1M is the headline workload: the full (1+ε)
 // coloring + MIS pipeline on a million-node random chordal graph.

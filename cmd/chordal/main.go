@@ -17,6 +17,13 @@
 // seeded by -fault-seed) to those runs — duplication and delay are
 // absorbed, drops and crashes surface as diagnosable errors;
 // -cpuprofile, -memprofile, and -pprof profile any invocation.
+//
+// -metrics attaches the deep-metrics collector (obs schema v3) to the
+// paper pipelines (color, color-dist, mis, mis-dist): per-kernel
+// worker spans, phase timeline spans, and per-phase heap/GC snapshots,
+// printed as aggregate tables on stderr after the run. Combine with
+// -trace to persist the records for cmd/tracestat; metrics never change
+// the computed result.
 package main
 
 import (
@@ -48,6 +55,7 @@ func main() {
 		maxClique  = flag.Int("maxclique", 5, "generator clique-size parameter")
 		seed       = flag.Int64("seed", 1, "generator seed")
 		trace      = flag.String("trace", "", "write a JSONL round trace (color-dist and mis-dist only)")
+		metrics    = flag.Bool("metrics", false, "collect deep kernel metrics (worker spans, phase timelines, heap snapshots) and print aggregate tables to stderr; works with color, color-dist, mis, mis-dist")
 		faults     = flag.String("faults", "", "fault spec drop=P,dup=P,delay=D,crash=NODE@ROUND (color-dist and mis-dist only)")
 		faultSeed  = flag.Uint64("fault-seed", 7, "seed of the deterministic fault schedule used by -faults")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -62,14 +70,14 @@ func main() {
 	peel.DefaultWorkers = *workers
 
 	if err := run(*alg, *eps, *in, *out, *genKind, *n, *maxClique, *seed,
-		*trace, *faults, *faultSeed, *cpuprofile, *memprofile, *pprofAddr); err != nil {
+		*trace, *metrics, *faults, *faultSeed, *cpuprofile, *memprofile, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "chordal:", err)
 		os.Exit(1)
 	}
 }
 
 func run(alg string, eps float64, in, out, genKind string, n, maxClique int, seed int64,
-	trace, faults string, faultSeed uint64, cpuprofile, memprofile, pprofAddr string) error {
+	trace string, metrics bool, faults string, faultSeed uint64, cpuprofile, memprofile, pprofAddr string) error {
 	if cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(cpuprofile)
 		if err != nil {
@@ -96,8 +104,8 @@ func run(alg string, eps float64, in, out, genKind string, n, maxClique int, see
 		defer shutdown()
 		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", bound)
 	}
-	// The observer is nil unless -trace is given, so untraced runs keep
-	// the engine's zero-cost fast path.
+	// The observer is nil unless -trace or -metrics is given, so plain
+	// runs keep the engine's zero-cost fast path.
 	var observer dist.RoundObserver
 	var collector *obs.Collector
 	if trace != "" {
@@ -108,10 +116,25 @@ func run(alg string, eps float64, in, out, genKind string, n, maxClique int, see
 		defer f.Close()
 		collector = obs.NewCollector()
 		collector.SetTrace(f)
+	}
+	if metrics {
+		if collector == nil {
+			collector = obs.NewCollector()
+		}
+		collector.SetMemStats(true)
+	}
+	if collector != nil {
 		observer = collector
 		defer func() {
-			if err := collector.Err(); err != nil {
+			// Finish closes the last phase span (and flushes its opt-in
+			// mem snapshot) before the trace file's deferred Close runs.
+			if err := collector.Finish(); err != nil {
 				fmt.Fprintln(os.Stderr, "chordal: trace:", err)
+			}
+			if metrics {
+				if err := obs.WriteReport(os.Stderr, obs.Summarize(collector.Events())); err != nil {
+					fmt.Fprintln(os.Stderr, "chordal: metrics:", err)
+				}
 			}
 		}()
 	}
@@ -208,7 +231,10 @@ func run(alg string, eps float64, in, out, genKind string, n, maxClique int, see
 		return nil
 
 	case "color":
-		res, err := core.ColorChordal(g, eps)
+		if collector != nil {
+			collector.SetPhase("color")
+		}
+		res, err := core.ColorChordalObserved(g, eps, observer)
 		if err != nil {
 			return err
 		}
@@ -259,7 +285,10 @@ func run(alg string, eps float64, in, out, genKind string, n, maxClique int, see
 		return nil
 
 	case "mis":
-		res, err := core.MISChordal(g, eps)
+		if collector != nil {
+			collector.SetPhase("mis")
+		}
+		res, err := core.MISChordalWithOptions(g, eps, core.ChordalMISOptions{Observer: observer})
 		if err != nil {
 			return err
 		}

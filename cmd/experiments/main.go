@@ -16,6 +16,12 @@
 // pure function of -fault-seed, and the trace carries the schema-v2
 // fault fields. The profiling flags work with or without -trace; they
 // wrap whatever workload the invocation runs.
+//
+// -metrics runs the same tracing workload with the deep-metrics
+// collector (obs schema v3): per-kernel worker spans, phase timeline
+// spans, and per-phase heap/GC snapshots, printed as aggregate tables
+// on stderr. It works with or without -trace (without, the records stay
+// in memory and only the tables appear).
 package main
 
 import (
@@ -35,6 +41,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink parameter sweeps for a fast run")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E7); empty = all")
 	trace := flag.String("trace", "", "write a JSONL round trace of the tracing workload to this file (skips the tables)")
+	metrics := flag.Bool("metrics", false, "run the tracing workload with deep kernel metrics (worker spans, phase timelines, heap snapshots) and print aggregate tables to stderr (skips the experiment tables)")
 	faults := flag.String("faults", "", "fault spec drop=P,dup=P,delay=D,crash=NODE@ROUND for the -trace workload")
 	faultSeed := flag.Uint64("fault-seed", 7, "seed of the deterministic fault schedule used by -faults")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -47,13 +54,13 @@ func main() {
 	core.DefaultStageWorkers = *workers
 	peel.DefaultWorkers = *workers
 
-	if err := run(*quick, *only, *trace, *faults, *faultSeed, *cpuprofile, *memprofile, *pprofAddr); err != nil {
+	if err := run(*quick, *only, *trace, *metrics, *faults, *faultSeed, *cpuprofile, *memprofile, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, only, trace, faults string, faultSeed uint64, cpuprofile, memprofile, pprofAddr string) error {
+func run(quick bool, only, trace string, metrics bool, faults string, faultSeed uint64, cpuprofile, memprofile, pprofAddr string) error {
 	if cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(cpuprofile)
 		if err != nil {
@@ -81,27 +88,43 @@ func run(quick bool, only, trace, faults string, faultSeed uint64, cpuprofile, m
 		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", bound)
 	}
 
-	if faults != "" && trace == "" {
-		return fmt.Errorf("-faults applies to the -trace workload; pass -trace too")
+	if faults != "" && trace == "" && !metrics {
+		return fmt.Errorf("-faults applies to the tracing workload; pass -trace or -metrics too")
 	}
-	if trace != "" {
-		f, err := os.Create(trace)
-		if err != nil {
-			return err
+	if trace != "" || metrics {
+		c := obs.NewCollector()
+		var f *os.File
+		if trace != "" {
+			var err error
+			if f, err = os.Create(trace); err != nil {
+				return err
+			}
+			defer f.Close()
+			c.SetTrace(f)
 		}
-		defer f.Close()
+		if metrics {
+			c.SetMemStats(true)
+		}
 		if faults != "" {
 			plan, err := dist.ParseFaults(faults, faultSeed)
 			if err != nil {
 				return err
 			}
-			if err := exp.FaultTraceRun(f, quick, plan); err != nil {
+			if err := exp.FaultTraceRunCollector(c, quick, plan); err != nil {
 				return err
 			}
-		} else if err := exp.TraceRun(f, quick); err != nil {
+		} else if err := exp.TraceRunCollector(c, quick); err != nil {
 			return err
 		}
-		return f.Close()
+		if metrics {
+			if err := obs.WriteReport(os.Stderr, obs.Summarize(c.Events())); err != nil {
+				return err
+			}
+		}
+		if f != nil {
+			return f.Close()
+		}
+		return nil
 	}
 
 	if only == "" {

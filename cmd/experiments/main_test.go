@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -17,7 +18,7 @@ func TestTraceAndProfileSmoke(t *testing.T) {
 	trace := filepath.Join(dir, "out.jsonl")
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
-	if err := run(true, "", trace, "", 7, cpu, mem, ""); err != nil {
+	if err := run(true, "", trace, false, "", 7, cpu, mem, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []string{trace, cpu, mem} {
@@ -35,13 +36,38 @@ func TestOnlySelection(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are slow")
 	}
-	if err := run(true, "E18,E19", "", "", 7, "", "", ""); err != nil {
+	if err := run(true, "E18,E19", "", false, "", 7, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestFaultsRequireTrace(t *testing.T) {
-	if err := run(true, "", "", "drop=0.2", 7, "", "", ""); err == nil {
+	if err := run(true, "", "", false, "drop=0.2", 7, "", "", ""); err == nil {
 		t.Error("-faults without -trace accepted")
+	}
+}
+
+func TestMetricsWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace workload is slow")
+	}
+	// -metrics alone runs the tracing workload with the in-memory
+	// collector and the stderr tables; with -trace the v3 records are
+	// persisted too.
+	if err := run(true, "", "", true, "", 7, "", "", ""); err != nil {
+		t.Fatalf("-metrics: %v", err)
+	}
+	trace := filepath.Join(t.TempDir(), "out.jsonl")
+	if err := run(true, "", trace, true, "", 7, "", "", ""); err != nil {
+		t.Fatalf("-metrics -trace: %v", err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{`"kind":"kernel"`, `"kind":"phase"`, `"kind":"mem"`} {
+		if !strings.Contains(string(data), kind) {
+			t.Errorf("metrics trace missing %s records", kind)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/chordal"
+	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/interval"
 	"repro/internal/peel"
@@ -46,21 +47,36 @@ func EffectiveK(eps float64) int {
 // It requires a chordal input and ε > 0; the (1+ε) approximation guarantee
 // holds for ε ≥ 2/χ(G) (Theorem 3).
 func ColorChordal(g *graph.Graph, eps float64) (*ChordalColoring, error) {
+	return ColorChordalObserved(g, eps, nil)
+}
+
+// ColorChordalObserved is ColorChordal with metrics hooks: an observer
+// implementing dist.KernelObserver (and peel.KernelObserver — one
+// implementation satisfies both, see obs.Collector) receives per-worker
+// kernel spans from the centralized pipeline's sharded stages: the
+// peeling path measurement and the per-path coloring. Unlike
+// ColorChordalDistributedObserved there are no engine rounds to
+// observe; nil keeps the zero-cost fast path and the result is
+// bit-identical either way.
+func ColorChordalObserved(g *graph.Graph, eps float64, o dist.RoundObserver) (*ChordalColoring, error) {
 	if eps <= 0 {
 		return nil, fmt.Errorf("epsilon must be positive, got %v", eps)
 	}
 	k := EffectiveK(eps)
-	res, err := peel.Run(g, peel.Options{InternalDiameter: 3 * k, NoForests: true})
+	po, _ := o.(peel.KernelObserver)
+	res, err := peel.Run(g, peel.Options{InternalDiameter: 3 * k, NoForests: true, Observer: po})
 	if err != nil {
 		return nil, fmt.Errorf("pruning phase: %w", err)
 	}
-	return colorLayers(g, k, res, nil)
+	return colorLayers(g, k, res, nil, o)
 }
 
 // colorLayers runs the coloring and color-correction phases over a peel
 // result. rounds, when non-nil, accumulates the LOCAL round cost of the
-// coloring and correction phases.
-func colorLayers(g *graph.Graph, k int, peeled *peel.Result, rounds *int) (*ChordalColoring, error) {
+// coloring and correction phases. o, when it implements
+// dist.KernelObserver, receives the per-path coloring stage as a
+// "color-paths" kernel span.
+func colorLayers(g *graph.Graph, k int, peeled *peel.Result, rounds *int, o dist.RoundObserver) (*ChordalColoring, error) {
 	out := &ChordalColoring{
 		Colors: make(map[graph.ID]int, g.NumNodes()),
 		K:      k,
@@ -102,7 +118,7 @@ func colorLayers(g *graph.Graph, k int, peeled *peel.Result, rounds *int) (*Chor
 		err error
 	}
 	slots := make([]colorSlot, len(refs))
-	runStageRanges(len(refs), resolveStageWorkers(0, len(refs)), func(lo, hi int) {
+	runStageShards("color-paths", len(refs), resolveStageWorkers(0, len(refs)), o, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			sub := g.InducedSubgraph(refs[i].rec.Nodes)
 			ic, err := ColIntGraph(sub, peel.LayerCliquePath(*refs[i].rec), k, idBound)

@@ -239,7 +239,7 @@ func RunCorrectionPhaseFaulty(g *graph.Graph, layer map[graph.ID]int, parent map
 	// are pure per-group computations over the snapshot: shard them with
 	// per-group result slots, then flatten in group order.
 	gateSlots := make([][]int32, len(groups))
-	runStageRanges(len(groups), resolveStageWorkers(0, len(groups)), func(lo, hi int) {
+	runStageShards("correction-setup", len(groups), resolveStageWorkers(0, len(groups)), o, func(lo, hi int) {
 		var buf []int32
 		for gi := lo; gi < hi; gi++ {
 			grp := &groups[gi]

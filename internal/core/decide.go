@@ -72,10 +72,14 @@ func shardCount(n, workers int) int {
 // ranges and runs body on each, bracketing every shard with the
 // observer's ShardStart/ShardEnd hooks (the same contract as the
 // engine's pooled schedule: distinct shard indices may run
-// concurrently, each on exactly one goroutine). workers <= 1 runs on
-// the calling goroutine. The kernel never reads the wall clock — the
-// observer stamps the hooks itself, exactly as with engine rounds.
-func runShards(n, workers int, o dist.RoundObserver, body func(shard, lo, hi int)) {
+// concurrently, each on exactly one goroutine). ko, when non-nil,
+// additionally receives the per-shard kernel-span brackets with
+// items = range width (callers pass the observer's KernelObserver side
+// so the assertion happens once per launch, outside the shard loop).
+// workers <= 1 runs on the calling goroutine. The kernel never reads
+// the wall clock — the observer stamps the hooks itself, exactly as
+// with engine rounds.
+func runShards(n, workers int, o dist.RoundObserver, ko dist.KernelObserver, body func(shard, lo, hi int)) {
 	if n == 0 {
 		return
 	}
@@ -86,7 +90,13 @@ func runShards(n, workers int, o dist.RoundObserver, body func(shard, lo, hi int
 		if o != nil {
 			o.ShardStart(0)
 		}
+		if ko != nil {
+			ko.KernelShardStart(0)
+		}
 		body(0, 0, n)
+		if ko != nil {
+			ko.KernelShardEnd(0, n)
+		}
 		if o != nil {
 			o.ShardEnd(0)
 		}
@@ -106,7 +116,13 @@ func runShards(n, workers int, o dist.RoundObserver, body func(shard, lo, hi int
 			if o != nil {
 				o.ShardStart(shard)
 			}
+			if ko != nil {
+				ko.KernelShardStart(shard)
+			}
 			body(shard, lo, hi)
+			if ko != nil {
+				ko.KernelShardEnd(shard, hi-lo)
+			}
 			if o != nil {
 				o.ShardEnd(shard)
 			}
@@ -222,7 +238,7 @@ func (cc *cliqueCache) prepopulate(nodes []graph.ID, workers int) {
 		cc.gi.Neighbors(u)
 	}
 	computed := make([]*nodeCliques, len(nodes))
-	runShards(len(nodes), workers, nil, func(_, lo, hi int) {
+	runShards(len(nodes), workers, nil, nil, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			computed[i] = cc.computeNode(nodes[i])
 		}
@@ -726,6 +742,9 @@ type decideResult struct {
 // RoundStart(0, shards), the per-shard Start/End brackets from the
 // workers, then RoundEnd with Done = the number of centers peeled, and
 // RunEnd — or no RoundEnd/RunEnd on error, like a failed engine run.
+// An observer implementing dist.KernelObserver additionally sees the
+// stage as one "decide" kernel span with per-shard busy/item counts
+// (the span closes even on error, so partial launches stay visible).
 //
 //chordalvet:hotpath budget=33 decide kernel: per-center work must stay on scratch reuse
 func runDecideStage(ix *graph.Indexed, know []*dist.Knowledge, cache *cliqueCache, sharedBall *view.Ball, scratches []*decideScratch, centers []int32, undecidedIdx []bool, undecided func(graph.ID) bool, rule decideRule, radius, workers int, o dist.RoundObserver, results []decideResult) ([]decideResult, error) {
@@ -738,11 +757,15 @@ func runDecideStage(ix *graph.Indexed, know []*dist.Knowledge, cache *cliqueCach
 	errPos := make([]int, shards)
 	errs := make([]error, shards)
 	ids := ix.IDs()
+	ko, _ := o.(dist.KernelObserver)
 	if o != nil {
 		o.RunStart(n, 0)
 		o.RoundStart(0, shards)
 	}
-	runShards(n, workers, o, func(shard, lo, hi int) {
+	if ko != nil {
+		ko.KernelStart("decide", shards)
+	}
+	runShards(n, workers, o, ko, func(shard, lo, hi int) {
 		sc := scratches[shard]
 		for pos := lo; pos < hi; pos++ {
 			vIdx := centers[pos]
@@ -756,6 +779,9 @@ func runDecideStage(ix *graph.Indexed, know []*dist.Knowledge, cache *cliqueCach
 			results[pos] = decideResult{peel: peel, parent: parent}
 		}
 	})
+	if ko != nil {
+		ko.KernelEnd()
+	}
 	// First-error-wins in center index order: shards cover ascending
 	// disjoint ranges, so the first shard with an error holds the
 	// earliest failing center.

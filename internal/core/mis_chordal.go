@@ -48,6 +48,12 @@ type ChordalMISOptions struct {
 	// small components with arbitrary maximum independent sets, ablating
 	// the design choice Section 7.1 motivates (experiment E14/ablation).
 	DisableAbsorbing bool
+	// Observer, when it implements dist.KernelObserver (and the
+	// structurally identical peel.KernelObserver), receives per-worker
+	// kernel spans from the sharded stages: the peeling measurement and
+	// the per-component MIS computation. nil keeps the zero-cost fast
+	// path; the result is bit-identical either way.
+	Observer dist.RoundObserver
 }
 
 // MISChordalWithOptions is MISChordal with ablation switches.
@@ -57,11 +63,13 @@ func MISChordalWithOptions(g *graph.Graph, eps float64, opts ChordalMISOptions) 
 	}
 	d, iterations := MISChordalParams(eps)
 	res := &ChordalMISResult{D: d, Iterations: iterations}
+	po, _ := opts.Observer.(peel.KernelObserver)
 	peeled, err := peel.Run(g, peel.Options{
 		InternalDiameter: 2*d + 3,
 		MaxIterations:    iterations,
 		FinalAlpha:       d,
 		NoForests:        true,
+		Observer:         po,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("peeling: %w", err)
@@ -114,12 +122,14 @@ func MISChordalDistributedFaulty(g *graph.Graph, eps float64, o dist.RoundObserv
 	if err != nil {
 		return nil, fmt.Errorf("distributed prune: %w", err)
 	}
+	po, _ := o.(peel.KernelObserver)
 	peeled, err := peel.Run(g, peel.Options{
 		InternalDiameter: 2*d + 3,
 		MaxIterations:    iterations,
 		FinalAlpha:       d,
 		Trace:            peelTrace,
 		NoForests:        true,
+		Observer:         po,
 	})
 	if err != nil {
 		return nil, err
@@ -138,7 +148,7 @@ func MISChordalDistributedFaulty(g *graph.Graph, eps float64, o dist.RoundObserv
 		}
 	}
 	res := &ChordalMISResult{D: d, Iterations: iterations, Rounds: outcome.Rounds}
-	if err := misFromPeel(g, peeled, d, eps, ChordalMISOptions{}, res); err != nil {
+	if err := misFromPeel(g, peeled, d, eps, ChordalMISOptions{Observer: o}, res); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -216,7 +226,7 @@ func misFromPeel(g *graph.Graph, peeled *peel.Result, d int, eps float64, opts C
 			slots = slots[:len(comps)]
 			workers := resolveStageWorkers(0, len(comps))
 			recLocal := rec
-			runStageRanges(len(comps), workers, func(lo, hi int) {
+			runStageShards("mis-components", len(comps), workers, opts.Observer, func(lo, hi int) {
 				for ci := lo; ci < hi; ci++ {
 					comp := comps[ci]
 					h := graph.New()

@@ -233,7 +233,8 @@ func ColorChordalDistributedFaulty(g *graph.Graph, eps float64, o dist.RoundObse
 	if err != nil {
 		return nil, fmt.Errorf("distributed prune: %w", err)
 	}
-	peeled, err := peel.Run(g, peel.Options{InternalDiameter: 3 * k, Trace: peelTrace, NoForests: true})
+	po, _ := o.(peel.KernelObserver)
+	peeled, err := peel.Run(g, peel.Options{InternalDiameter: 3 * k, Trace: peelTrace, NoForests: true, Observer: po})
 	if err != nil {
 		return nil, err
 	}
@@ -245,7 +246,7 @@ func ColorChordalDistributedFaulty(g *graph.Graph, eps float64, o dist.RoundObse
 		}
 	}
 	rounds := outcome.Rounds
-	col, err := colorLayers(g, k, peeled, &rounds)
+	col, err := colorLayers(g, k, peeled, &rounds, o)
 	if err != nil {
 		return nil, err
 	}

@@ -185,7 +185,7 @@ func TestCorrectionPhaseDirect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	col, err := colorLayers(g, k, peeled, nil)
+	col, err := colorLayers(g, k, peeled, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,8 @@ package core
 import (
 	"runtime"
 	"sync"
+
+	"repro/internal/dist"
 )
 
 // DefaultStageWorkers is the process-wide default worker count for the
@@ -30,17 +32,37 @@ func resolveStageWorkers(specWorkers, tasks int) int {
 	return w
 }
 
-// runStageRanges splits [0, n) into contiguous chunks, one per worker,
+// runStageShards splits [0, n) into contiguous chunks, one per worker,
 // and runs body on each. body must only write state owned by its range.
-func runStageRanges(n, workers int, body func(lo, hi int)) {
+//
+// When o implements dist.KernelObserver the launch is reported as one
+// named kernel span — KernelStart/KernelEnd around the launch, with
+// each worker's range bracketed by KernelShardStart/KernelShardEnd
+// (items = range width) from its own goroutine. The chunking is
+// identical with and without an observer, so observability never
+// changes the schedule, and the stage itself never reads the wall
+// clock — the observer stamps the hooks, as everywhere else.
+func runStageShards(kernel string, n, workers int, o dist.RoundObserver, body func(lo, hi int)) {
 	if n == 0 {
 		return
 	}
+	ko, _ := o.(dist.KernelObserver)
 	if workers <= 1 {
+		if ko != nil {
+			ko.KernelStart(kernel, 1)
+			ko.KernelShardStart(0)
+		}
 		body(0, n)
+		if ko != nil {
+			ko.KernelShardEnd(0, n)
+			ko.KernelEnd()
+		}
 		return
 	}
 	chunk := (n + workers - 1) / workers
+	if ko != nil {
+		ko.KernelStart(kernel, (n+chunk-1)/chunk)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -52,10 +74,19 @@ func runStageRanges(n, workers int, body func(lo, hi int)) {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
+			if ko != nil {
+				ko.KernelShardStart(w)
+			}
 			body(lo, hi)
-		}(lo, hi)
+			if ko != nil {
+				ko.KernelShardEnd(w, hi-lo)
+			}
+		}(w, lo, hi)
 	}
 	wg.Wait()
+	if ko != nil {
+		ko.KernelEnd()
+	}
 }

@@ -152,6 +152,38 @@ type PhaseSetter interface {
 	SetPhase(name string)
 }
 
+// KernelObserver is optionally implemented by RoundObservers that want
+// per-worker spans from the sharded compute kernels running *outside*
+// the round engine: the pruning decide kernel, the per-path coloring and
+// MIS-component stages, the correction gate-set setup, and the peeling
+// path measurement (internal/peel declares a structurally identical
+// interface so it does not have to import this package; one
+// implementation satisfies both). Kernels type-assert their
+// RoundObserver — a nil or non-implementing observer keeps the
+// documented zero-cost fast path, and the assertion itself never
+// allocates, so the hotalloc budgets of the kernels are unaffected.
+//
+// Like RoundObserver, the kernel never reads the wall clock; the
+// observer stamps the callbacks itself. items is the number of work
+// items (centers, paths, components, groups) the shard processed, so
+// imbalance ratios can separate skewed schedules from skewed items.
+//
+// Concurrency contract: KernelStart and KernelEnd are called from the
+// goroutine driving the kernel; KernelShardStart/KernelShardEnd are
+// called from worker goroutines — calls with distinct shard indices may
+// be concurrent, each shard index used by exactly one goroutine per
+// launch, and the kernel's WaitGroup orders every shard callback before
+// KernelEnd. Kernel launches never nest under one observer.
+type KernelObserver interface {
+	// KernelStart fires once per launch, before any shard runs.
+	KernelStart(kernel string, shards int)
+	// KernelShardStart/KernelShardEnd bracket one worker shard's work.
+	KernelShardStart(shard int)
+	KernelShardEnd(shard, items int)
+	// KernelEnd fires after every shard has finished.
+	KernelEnd()
+}
+
 // Context is a node's interface to the network during Init/Round calls.
 // The outbox stores one entry per Send or Broadcast call: targets[k] is
 // the receiver's index for a Send, or broadcastTarget for a Broadcast,

@@ -184,11 +184,18 @@ func E21RetransFlood(quick bool) (*Table, error) {
 // graph under the full plan, message loss included, exercising the
 // recovery machinery end to end.
 func FaultTraceRun(w io.Writer, quick bool, f *dist.Faults) error {
+	c := obs.NewCollector()
+	c.SetTrace(w)
+	return FaultTraceRunCollector(c, quick, f)
+}
+
+// FaultTraceRunCollector runs the fault-trace workload under a
+// caller-configured Collector (see TraceRunCollector). It finishes the
+// collector; the caller must not reuse it.
+func FaultTraceRunCollector(c *obs.Collector, quick bool, f *dist.Faults) error {
 	if f == nil {
 		f = &dist.Faults{Plan: fault.Plan{Seed: 7, Drop: 0.2, Dup: 0.2, MaxDelay: 2}}
 	}
-	c := obs.NewCollector()
-	c.SetTrace(w)
 
 	absorbable := &dist.Faults{Plan: f.Plan}
 	absorbable.Plan.Drop = 0
@@ -206,5 +213,5 @@ func FaultTraceRun(w io.Writer, quick bool, f *dist.Faults) error {
 	if _, _, err := dist.CollectBallsRetrans(g, 3, 200, nil, f, c); err != nil {
 		return fmt.Errorf("fault trace retrans: %w", err)
 	}
-	return c.Err()
+	return c.Finish()
 }

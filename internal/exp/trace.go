@@ -74,7 +74,15 @@ func E19PeelTrace(quick bool) (*Table, error) {
 func TraceRun(w io.Writer, quick bool) error {
 	c := obs.NewCollector()
 	c.SetTrace(w)
+	return TraceRunCollector(c, quick)
+}
 
+// TraceRunCollector runs the trace workload under a caller-configured
+// Collector — `cmd/experiments -metrics` passes one with mem snapshots
+// enabled and renders the aggregate report afterwards. It finishes the
+// collector (closing the last phase span), so the caller must not reuse
+// it for further runs.
+func TraceRunCollector(c *obs.Collector, quick bool) error {
 	// Figure-1 graph: the pruning floods label themselves prune-iNN and
 	// the correction choreography labels itself "correction".
 	c.SetPhase("fig1")
@@ -93,8 +101,8 @@ func TraceRun(w io.Writer, quick bool) error {
 		return fmt.Errorf("trace flood: %w", err)
 	}
 	c.SetPhase(fmt.Sprintf("peel-n%d", n))
-	if _, err := peel.Run(g, peel.Options{InternalDiameter: 9, Trace: c.PeelTrace()}); err != nil {
+	if _, err := peel.Run(g, peel.Options{InternalDiameter: 9, Trace: c.PeelTrace(), Observer: c}); err != nil {
 		return fmt.Errorf("trace peel: %w", err)
 	}
-	return c.Err()
+	return c.Finish()
 }

@@ -13,8 +13,9 @@ import (
 // TestTraceRunSchema runs the -trace workload in quick mode and checks
 // the JSONL output line by line: every line is a JSON object of the
 // stable schema, round events carry the engine fields, layer events the
-// peel fields, and within each (phase, run) the round indices are the
-// contiguous sequence 0..R — one event per engine round, none missing.
+// peel fields, kernel events the v3 per-worker spans, and within each
+// (phase, run) the round indices are the contiguous sequence 0..R —
+// one event per engine round, none missing.
 func TestTraceRunSchema(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trace workload is slow")
@@ -27,7 +28,7 @@ func TestTraceRunSchema(t *testing.T) {
 	if len(lines) < 10 {
 		t.Fatalf("suspiciously short trace: %d lines", len(lines))
 	}
-	rounds, layers := 0, 0
+	rounds, layers, kernels, phases := 0, 0, 0, 0
 	lastRound := make(map[string]int) // "phase/run" -> last round index
 	for i, line := range lines {
 		var ev obs.Event
@@ -60,12 +61,30 @@ func TestTraceRunSchema(t *testing.T) {
 			if ev.NodesPeeled <= 0 {
 				t.Errorf("line %d: layer event peeled %d nodes", i, ev.NodesPeeled)
 			}
+		case obs.KindKernel:
+			kernels++
+			if ev.Kernel == "" || ev.Shards < 1 {
+				t.Errorf("line %d: kernel event %q with shards=%d", i, ev.Kernel, ev.Shards)
+			}
+			if len(ev.BusyNS) != ev.Shards || len(ev.Items) != ev.Shards {
+				t.Errorf("line %d: kernel %q busy/items have %d/%d entries, want %d",
+					i, ev.Kernel, len(ev.BusyNS), len(ev.Items), ev.Shards)
+			}
+		case obs.KindPhase:
+			phases++
+			if ev.WallNS <= 0 {
+				t.Errorf("line %d: phase span with wall_ns=%d", i, ev.WallNS)
+			}
+		case obs.KindMem:
+			// Opt-in; TraceRun does not enable mem snapshots.
+			t.Errorf("line %d: mem event without SetMemStats", i)
 		default:
 			t.Errorf("line %d: unknown event kind %q", i, ev.Kind)
 		}
 	}
-	if rounds == 0 || layers == 0 {
-		t.Fatalf("trace has %d round and %d layer events; want both kinds", rounds, layers)
+	if rounds == 0 || layers == 0 || kernels == 0 || phases == 0 {
+		t.Fatalf("trace has %d round, %d layer, %d kernel, %d phase events; want all four kinds",
+			rounds, layers, kernels, phases)
 	}
 	// The workload's phases all appear.
 	out := buf.String()

@@ -1,0 +1,138 @@
+package obs
+
+import "testing"
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty hist not all-zero: count=%d sum=%d min=%d max=%d mean=%d",
+			h.Count(), h.Sum(), h.Min(), h.Max(), h.Mean())
+	}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if q := h.Quantile(p); q != 0 {
+			t.Errorf("empty Quantile(%v)=%d, want 0", p, q)
+		}
+	}
+}
+
+func TestHistSingleSample(t *testing.T) {
+	var h Hist
+	h.Record(12345)
+	if h.Count() != 1 || h.Sum() != 12345 || h.Min() != 12345 || h.Max() != 12345 {
+		t.Fatalf("count=%d sum=%d min=%d max=%d", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	// Every quantile of a one-sample distribution is that sample: the
+	// bucket interpolation must clamp to [min, max].
+	for _, p := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if q := h.Quantile(p); q != 12345 {
+			t.Errorf("Quantile(%v)=%d, want 12345", p, q)
+		}
+	}
+}
+
+func TestHistZeroAndNegative(t *testing.T) {
+	var h Hist
+	h.Record(0)
+	h.Record(-7) // clamps to 0
+	if h.Count() != 2 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("count=%d sum=%d min=%d max=%d", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("Quantile(0.5)=%d, want 0", q)
+	}
+}
+
+// TestHistBucketBoundaries records values that straddle every power-of-2
+// boundary in a small range and checks the estimates never escape the
+// true value's bucket (the log-bucket error guarantee) and that exact
+// min/max survive.
+func TestHistBucketBoundaries(t *testing.T) {
+	var h Hist
+	vals := []int64{1, 2, 3, 4, 7, 8, 15, 16, 31, 32}
+	for _, v := range vals {
+		h.Record(v)
+	}
+	if h.Min() != 1 || h.Max() != 32 {
+		t.Fatalf("min=%d max=%d, want 1, 32", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0)=%d, want exact min 1", got)
+	}
+	if got := h.Quantile(1); got != 32 {
+		t.Errorf("Quantile(1)=%d, want exact max 32", got)
+	}
+	// The median of the 10 samples is between 7 and 8; the log-bucket
+	// estimate may land anywhere in [4, 15] (the buckets holding ranks
+	// 5 and 6) but no further.
+	if got := h.Quantile(0.5); got < 4 || got > 15 {
+		t.Errorf("Quantile(0.5)=%d, want within [4, 15]", got)
+	}
+	// bucketBounds sanity at the boundaries themselves.
+	for b, want := range map[int][2]int64{0: {0, 0}, 1: {1, 1}, 2: {2, 3}, 3: {4, 7}, 4: {8, 15}} {
+		lo, hi := bucketBounds(b)
+		if lo != want[0] || hi != want[1] {
+			t.Errorf("bucketBounds(%d)=[%d,%d], want [%d,%d]", b, lo, hi, want[0], want[1])
+		}
+	}
+}
+
+// TestHistMergeDisjointRanges merges a low-range and a high-range
+// histogram and checks the merged distribution places low quantiles in
+// the low range and high quantiles in the high range.
+func TestHistMergeDisjointRanges(t *testing.T) {
+	var lo, hi Hist
+	for i := int64(1); i <= 100; i++ {
+		lo.Record(i)
+	}
+	for i := int64(1_000_000); i < 1_000_100; i++ {
+		hi.Record(i)
+	}
+	merged := lo // copy
+	merged.Merge(&hi)
+	if merged.Count() != 200 {
+		t.Fatalf("merged count=%d, want 200", merged.Count())
+	}
+	if merged.Min() != 1 || merged.Max() != 1_000_099 {
+		t.Fatalf("merged min=%d max=%d", merged.Min(), merged.Max())
+	}
+	if want := lo.Sum() + hi.Sum(); merged.Sum() != want {
+		t.Fatalf("merged sum=%d, want %d", merged.Sum(), want)
+	}
+	if q := merged.Quantile(0.25); q > 128 {
+		t.Errorf("Quantile(0.25)=%d, want in the low range (≤128)", q)
+	}
+	if q := merged.Quantile(0.75); q < 524288 {
+		t.Errorf("Quantile(0.75)=%d, want in the high range (≥2^19)", q)
+	}
+	// Merging into an empty histogram preserves min/max.
+	var empty Hist
+	empty.Merge(&lo)
+	if empty.Min() != 1 || empty.Max() != 100 || empty.Count() != 100 {
+		t.Errorf("merge into empty: min=%d max=%d count=%d", empty.Min(), empty.Max(), empty.Count())
+	}
+}
+
+// TestHistQuantileMonotone sweeps p over a spread-out deterministic
+// sample set and requires Quantile to be nondecreasing — the property
+// every latency table (p50 ≤ p90 ≤ p99) depends on.
+func TestHistQuantileMonotone(t *testing.T) {
+	var h Hist
+	v := int64(1)
+	for i := 0; i < 1000; i++ {
+		// Multiplicative walk over several orders of magnitude,
+		// deterministic so the test never flakes.
+		v = (v*2654435761 + 1) % 10_000_000
+		h.Record(v)
+	}
+	prev := int64(-1)
+	for p := 0.0; p <= 1.0; p += 0.005 {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Fatalf("Quantile not monotone: p=%v gives %d after %d", p, q, prev)
+		}
+		prev = q
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Errorf("Quantile(1)=%d, want max %d", h.Quantile(1), h.Max())
+	}
+}

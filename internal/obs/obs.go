@@ -19,6 +19,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
@@ -35,14 +36,32 @@ import (
 // when zero (it was previously always present). v1 readers that ignore
 // unknown fields and treat a missing wall_ns as 0 read v2 traces
 // correctly.
-const SchemaVersion = 2
+//
+// v3 (deep kernel metrics): three new record kinds — "kernel" spans
+// from the sharded compute kernels (per-worker busy times and item
+// counts), "phase" timeline spans emitted when the phase label changes
+// (wall-clock attribution plus p50/p99 round latency), and opt-in "mem"
+// heap/GC snapshots at phase boundaries — plus the optional t_ns offset
+// on round events. Every new field is omitempty and every new kind is
+// additive, so a v2 reader that ignores unknown kinds and fields reads
+// v3 traces correctly; canonical mode suppresses all three new kinds
+// (they are schedule/hardware measurements by definition), keeping the
+// cross-mode byte-identical guarantee exactly as narrow as in v2.
+const SchemaVersion = 3
 
 // Event kinds. One "round" event is emitted per engine step (the Init
 // step is round 0); "layer" events come from the peeling process via
-// Collector.PeelTrace.
+// Collector.PeelTrace; "kernel" events are per-launch spans of the
+// sharded compute kernels (schema v3); "phase" events are wall-clock
+// timeline spans emitted when the phase label changes (schema v3);
+// "mem" events are opt-in heap/GC snapshots at phase boundaries
+// (schema v3, see Collector.SetMemStats).
 const (
-	KindRound = "round"
-	KindLayer = "layer"
+	KindRound  = "round"
+	KindLayer  = "layer"
+	KindKernel = "kernel"
+	KindPhase  = "phase"
+	KindMem    = "mem"
 )
 
 // Event is one JSONL trace record and one row of the Collector's
@@ -91,6 +110,43 @@ type Event struct {
 	NodesPeeled   int `json:"nodes_peeled,omitempty"`
 	ForestCliques int `json:"forest_cliques,omitempty"`
 	Remaining     int `json:"remaining,omitempty"`
+
+	// TNS (schema v3) is the event's start offset in nanoseconds from
+	// the Collector's creation: the round start for round events, the
+	// launch for kernel events, the span start for phase events, the
+	// snapshot instant for mem events. Omitted in canonical mode.
+	TNS int64 `json:"t_ns,omitempty"`
+
+	// Kernel-event fields (schema v3): one event per sharded-kernel
+	// launch. Kernel names the kernel ("decide", "peel-measure",
+	// "color-paths", "mis-components", "correction-setup"); Shards and
+	// BusyNS carry the per-worker spans exactly as for engine rounds;
+	// Items[s] counts the work items shard s processed (their sum is the
+	// event's Nodes); WallNS is the whole launch. The imbalance ratio of
+	// a launch is max(BusyNS)/mean(BusyNS) — cmd/tracestat computes it.
+	Kernel       string  `json:"kernel,omitempty"`
+	Items        []int64 `json:"items,omitempty"`
+	ShardStartNS []int64 `json:"shard_start_ns,omitempty"`
+
+	// Phase-event fields (schema v3): the span aggregates every round
+	// event the closed phase saw. Runs/Rounds mirror PhaseSummary;
+	// Messages and Volume reuse the round fields above; WallNS is the
+	// wall-clock width of the span (SetPhase to SetPhase, so centralized
+	// kernel time between engine runs is attributed too); P50NS/P99NS
+	// are round-latency quantiles from the phase's streaming Hist.
+	Runs   int   `json:"runs,omitempty"`
+	Rounds int   `json:"rounds,omitempty"`
+	P50NS  int64 `json:"p50_ns,omitempty"`
+	P99NS  int64 `json:"p99_ns,omitempty"`
+
+	// Mem-event fields (schema v3): a runtime.MemStats excerpt taken at
+	// a phase boundary (never mid-round — ReadMemStats stops the world,
+	// which is why the snapshots are opt-in, see SetMemStats).
+	HeapAllocB   uint64 `json:"heap_alloc_b,omitempty"`
+	HeapObjects  uint64 `json:"heap_objects,omitempty"`
+	TotalAllocB  uint64 `json:"total_alloc_b,omitempty"`
+	NumGC        uint32 `json:"num_gc,omitempty"`
+	PauseTotalNS uint64 `json:"pause_total_ns,omitempty"`
 }
 
 // PhaseSummary aggregates every round event sharing one phase label.
@@ -140,11 +196,42 @@ type Collector struct {
 
 	// Optional registry kept updated with running totals.
 	reg *Registry
+
+	// start anchors every TNS offset (schema v3); SetClock re-stamps it
+	// so fake-clock tests get small deterministic offsets.
+	start time.Time
+
+	// memstats enables the opt-in per-phase heap/GC snapshots.
+	memstats bool
+
+	// Current-phase aggregation for the v3 phase timeline spans,
+	// reset at every SetPhase transition (and flushed by Finish).
+	phaseStart time.Time
+	phRuns     int
+	phLastRun  int
+	phRounds   int
+	phMessages int
+	phVolume   int
+	phEvents   int // round/layer/kernel events seen in this phase
+	phHist     Hist
+
+	// In-flight kernel launch (implements dist.KernelObserver; launches
+	// never nest, see the interface's concurrency contract). Shard slots
+	// are written lock-free by worker goroutines, exactly like the
+	// engine-round shard slots above.
+	kernelName  string
+	kernelStart time.Time
+	kShardStart []time.Time
+	kBusy       []int64
+	kItems      []int64
 }
 
 // NewCollector returns a Collector that keeps events in memory only.
 func NewCollector() *Collector {
-	return &Collector{now: time.Now}
+	c := &Collector{now: time.Now, phLastRun: -1}
+	c.start = c.now()
+	c.phaseStart = c.start
+	return c
 }
 
 // SetTrace streams every subsequent event to w as JSONL (one JSON object
@@ -156,11 +243,14 @@ func (c *Collector) SetTrace(w io.Writer) {
 }
 
 // SetClock substitutes the wall-clock source (tests use a fake clock to
-// make timings deterministic).
+// make timings deterministic) and re-anchors the TNS origin on it. Call
+// it before any events arrive.
 func (c *Collector) SetClock(now func() time.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.now = now
+	c.start = c.now()
+	c.phaseStart = c.start
 }
 
 // SetRegistry keeps reg's rounds_total / messages_total / volume_total
@@ -172,11 +262,86 @@ func (c *Collector) SetRegistry(reg *Registry) {
 }
 
 // SetPhase labels subsequent events with a phase name (implements
-// dist.PhaseSetter). Callers set it between engine runs.
+// dist.PhaseSetter). Callers set it between engine runs. A transition
+// closes the previous phase's timeline span: if that phase produced any
+// events, one "phase" record (and, with SetMemStats on, one "mem"
+// snapshot) is emitted before the label changes — suppressed in
+// canonical mode, where wall-clock spans have no meaning.
 func (c *Collector) SetPhase(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if name == c.phase {
+		return
+	}
+	c.closePhaseLocked()
 	c.phase = name
+}
+
+// SetMemStats enables the per-phase heap/GC snapshots: at every phase
+// boundary (SetPhase transitions and Finish) the Collector calls
+// runtime.ReadMemStats — a stop-the-world operation, which is why the
+// snapshots are opt-in and happen at phase boundaries only, never per
+// round — and emits one "mem" record under the closing phase's label.
+func (c *Collector) SetMemStats(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.memstats = on
+}
+
+// Finish closes the trailing phase span (emitting its "phase" record
+// and, with SetMemStats on, the final "mem" snapshot) and reports the
+// first trace-write error. Call it once after the workload; any later
+// events simply start a fresh span.
+func (c *Collector) Finish() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closePhaseLocked()
+	return c.encErr
+}
+
+// closePhaseLocked flushes the current phase's timeline span and resets
+// the per-phase aggregation. Callers hold c.mu.
+func (c *Collector) closePhaseLocked() {
+	now := c.now()
+	if c.phEvents > 0 && !c.canonical {
+		c.emit(Event{
+			V:        SchemaVersion,
+			Kind:     KindPhase,
+			Phase:    c.phase,
+			Run:      c.run,
+			Runs:     c.phRuns,
+			Rounds:   c.phRounds,
+			Messages: c.phMessages,
+			Volume:   c.phVolume,
+			WallNS:   now.Sub(c.phaseStart).Nanoseconds(),
+			TNS:      c.phaseStart.Sub(c.start).Nanoseconds(),
+			P50NS:    c.phHist.Quantile(0.5),
+			P99NS:    c.phHist.Quantile(0.99),
+		})
+		if c.memstats {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			c.emit(Event{
+				V:            SchemaVersion,
+				Kind:         KindMem,
+				Phase:        c.phase,
+				TNS:          c.now().Sub(c.start).Nanoseconds(),
+				HeapAllocB:   ms.HeapAlloc,
+				HeapObjects:  ms.HeapObjects,
+				TotalAllocB:  ms.TotalAlloc,
+				NumGC:        ms.NumGC,
+				PauseTotalNS: ms.PauseTotalNs,
+			})
+		}
+	}
+	c.phaseStart = now
+	c.phRuns = 0
+	c.phLastRun = -1
+	c.phRounds = 0
+	c.phMessages = 0
+	c.phVolume = 0
+	c.phEvents = 0
+	c.phHist.Reset()
 }
 
 // SetCanonical switches the Collector to canonical traces: shard counts
@@ -279,7 +444,18 @@ func (c *Collector) RoundEnd(stats dist.RoundStats) {
 		ev.Shards = 0
 		ev.WallNS = 0
 		ev.BusyNS = nil
+	} else {
+		ev.TNS = c.roundStart.Sub(c.start).Nanoseconds()
 	}
+	// Per-phase aggregation for the v3 phase timeline span.
+	if c.phLastRun != c.run {
+		c.phLastRun = c.run
+		c.phRuns++
+	}
+	c.phRounds++
+	c.phMessages += stats.Messages
+	c.phVolume += stats.Volume
+	c.phHist.Record(ev.WallNS)
 	if c.reg != nil {
 		c.reg.Counter("rounds_total").Add(1)
 		c.reg.Counter("messages_total").Add(int64(stats.Messages))
@@ -297,8 +473,90 @@ func (c *Collector) RunEnd(rounds int) {
 	c.run++
 }
 
+// KernelStart implements dist.KernelObserver (and, structurally,
+// peel.KernelObserver): it stamps the launch and pre-sizes the
+// per-shard slots, exactly as RoundStart does for engine rounds.
+func (c *Collector) KernelStart(kernel string, shards int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.kernelName = kernel
+	c.kernelStart = c.now()
+	if cap(c.kShardStart) < shards {
+		c.kShardStart = make([]time.Time, shards)
+		c.kBusy = make([]int64, shards)
+		c.kItems = make([]int64, shards)
+	}
+	c.kShardStart = c.kShardStart[:shards]
+	c.kBusy = c.kBusy[:shards]
+	c.kItems = c.kItems[:shards]
+	for i := range c.kBusy {
+		c.kShardStart[i] = time.Time{}
+		c.kBusy[i] = 0
+		c.kItems[i] = 0
+	}
+}
+
+// KernelShardStart implements dist.KernelObserver. Like ShardStart it
+// may be called from worker goroutines; distinct shard indices touch
+// distinct slots sized under the lock in KernelStart, and the kernel's
+// WaitGroup orders these writes before KernelEnd's reads.
+//
+//chordalvet:hotpath budget=0 per-shard kernel hooks must stay allocation-free
+func (c *Collector) KernelShardStart(shard int) {
+	c.kShardStart[shard] = c.now()
+}
+
+// KernelShardEnd implements dist.KernelObserver; see KernelShardStart
+// for the concurrency argument.
+//
+//chordalvet:hotpath budget=0 per-shard kernel hooks must stay allocation-free
+func (c *Collector) KernelShardEnd(shard, items int) {
+	c.kBusy[shard] = c.now().Sub(c.kShardStart[shard]).Nanoseconds()
+	c.kItems[shard] = int64(items)
+}
+
+// KernelEnd implements dist.KernelObserver: it materializes the
+// launch's "kernel" event. Canonical mode drops kernel events entirely
+// — shard counts and busy times are schedule/hardware measurements.
+func (c *Collector) KernelEnd() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.canonical {
+		return
+	}
+	end := c.now()
+	ev := Event{
+		V:      SchemaVersion,
+		Kind:   KindKernel,
+		Phase:  c.phase,
+		Run:    c.run,
+		Kernel: c.kernelName,
+		Shards: len(c.kBusy),
+		WallNS: end.Sub(c.kernelStart).Nanoseconds(),
+		TNS:    c.kernelStart.Sub(c.start).Nanoseconds(),
+		BusyNS: append([]int64(nil), c.kBusy...),
+		Items:  append([]int64(nil), c.kItems...),
+	}
+	starts := make([]int64, len(c.kShardStart))
+	total := 0
+	for i, ts := range c.kShardStart {
+		if !ts.IsZero() {
+			starts[i] = ts.Sub(c.start).Nanoseconds()
+		}
+		total += int(c.kItems[i])
+	}
+	ev.ShardStartNS = starts
+	ev.Nodes = total
+	c.emit(ev)
+}
+
 // emit appends and streams one event. Callers hold c.mu.
 func (c *Collector) emit(ev Event) {
+	// Round, layer, and kernel events count as phase activity; the
+	// phase/mem records closing a span must not re-open it.
+	if ev.Kind == KindRound || ev.Kind == KindLayer || ev.Kind == KindKernel {
+		c.phEvents++
+	}
 	c.events = append(c.events, ev)
 	if c.enc != nil {
 		if err := c.enc.Encode(ev); err != nil && c.encErr == nil {
@@ -349,10 +607,12 @@ func (c *Collector) Phases() []PhaseSummary {
 	return out
 }
 
-// Compile-time check: Collector is a dist observer, fault observer, and
-// phase setter.
+// Compile-time check: Collector is a dist observer, fault observer,
+// phase setter, and kernel observer (the peel.KernelObserver check
+// lives in peel.go beside the adapter).
 var (
-	_ dist.RoundObserver = (*Collector)(nil)
-	_ dist.FaultObserver = (*Collector)(nil)
-	_ dist.PhaseSetter   = (*Collector)(nil)
+	_ dist.RoundObserver  = (*Collector)(nil)
+	_ dist.FaultObserver  = (*Collector)(nil)
+	_ dist.PhaseSetter    = (*Collector)(nil)
+	_ dist.KernelObserver = (*Collector)(nil)
 )

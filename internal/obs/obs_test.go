@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -53,13 +54,13 @@ func pathGraph(n int) *graph.Graph {
 }
 
 // fakeClock advances one microsecond per reading, making every wall
-// timing deterministic.
+// timing deterministic. The counter is atomic because shard hooks read
+// the clock from worker goroutines.
 func fakeClock() func() time.Time {
 	base := time.Unix(0, 0)
-	ticks := int64(0)
+	var ticks atomic.Int64
 	return func() time.Time {
-		ticks++
-		return base.Add(time.Duration(ticks) * time.Microsecond)
+		return base.Add(time.Duration(ticks.Add(1)) * time.Microsecond)
 	}
 }
 

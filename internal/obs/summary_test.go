@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeAggregates(t *testing.T) {
+	events := []Event{
+		{V: 3, Kind: KindRound, Phase: "p", Run: 0, Round: 0, Messages: 10, Volume: 40, WallNS: 100, MaxInbox: 2, BusyNS: []int64{60, 20}},
+		{V: 3, Kind: KindRound, Phase: "p", Run: 0, Round: 1, Messages: 5, Volume: 20, WallNS: 100, MaxInbox: 3, BusyNS: []int64{50, 30}},
+		{V: 3, Kind: KindKernel, Phase: "p", Kernel: "decide", Shards: 2, WallNS: 80, BusyNS: []int64{60, 20}, Items: []int64{8, 8}},
+		{V: 3, Kind: KindPhase, Phase: "p", Runs: 1, Rounds: 2, Messages: 15, Volume: 60, WallNS: 500, P50NS: 100, P99NS: 100},
+		{V: 3, Kind: KindMem, Phase: "p", HeapAllocB: 1 << 20},
+	}
+	s := Summarize(events)
+	if s.SchemaV != 3 || s.Records != 5 {
+		t.Fatalf("schema=%d records=%d, want 3/5", s.SchemaV, s.Records)
+	}
+	if len(s.Phases) != 1 {
+		t.Fatalf("got %d phases, want 1", len(s.Phases))
+	}
+	p := s.Phases[0]
+	if p.Rounds != 2 || p.Messages != 15 || p.Volume != 60 || p.MaxInbox != 3 {
+		t.Errorf("phase agg = %+v", p)
+	}
+	// The phase span event supersedes the sum-of-round-walls fallback.
+	if p.WallNS != 500 {
+		t.Errorf("phase WallNS=%d, want 500 from the phase span", p.WallNS)
+	}
+	if p.P50NS != 100 || p.P99NS < p.P50NS {
+		t.Errorf("phase p50=%d p99=%d", p.P50NS, p.P99NS)
+	}
+
+	// Two kernel rows: the named decide launch plus the engine's own
+	// per-round shard times aggregated as engine[p].
+	byName := map[string]KernelAgg{}
+	for _, k := range s.Kernels {
+		byName[k.Kernel] = k
+	}
+	d, ok := byName["decide"]
+	if !ok {
+		t.Fatalf("no decide kernel row: %+v", s.Kernels)
+	}
+	if d.Launches != 1 || d.Shards != 2 || d.Items != 16 || d.BusyNS != 80 {
+		t.Errorf("decide agg = %+v", d)
+	}
+	// Imbalance = max/mean = 60/40.
+	if d.Imbalance < 1.49 || d.Imbalance > 1.51 {
+		t.Errorf("decide imbalance=%v, want 1.5", d.Imbalance)
+	}
+	e, ok := byName["engine[p]"]
+	if !ok {
+		t.Fatalf("no engine[p] row: %+v", s.Kernels)
+	}
+	if e.Launches != 2 || e.BusyNS != 160 {
+		t.Errorf("engine agg = %+v", e)
+	}
+	if len(s.Mem) != 1 || s.Mem[0].HeapAllocB != 1<<20 {
+		t.Errorf("mem agg = %+v", s.Mem)
+	}
+}
+
+func TestSummarizeImbalanceEdge(t *testing.T) {
+	if got := launchImbalance([]int64{100}); got != 0 {
+		t.Errorf("single shard imbalance=%v, want 0", got)
+	}
+	if got := launchImbalance(nil); got != 0 {
+		t.Errorf("empty imbalance=%v, want 0", got)
+	}
+	if got := launchImbalance([]int64{50, 50}); got != 1 {
+		t.Errorf("balanced imbalance=%v, want 1", got)
+	}
+}
+
+func TestWriteReportTables(t *testing.T) {
+	c := NewCollector()
+	c.SetClock(fakeClock())
+	c.SetPhase("ping")
+	runPing(t, c, 8, 2)
+	c.KernelStart("decide", 2)
+	c.KernelShardStart(0)
+	c.KernelShardEnd(0, 4)
+	c.KernelShardStart(1)
+	c.KernelShardEnd(1, 4)
+	c.KernelEnd()
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, Summarize(c.Events())); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"PHASES", "KERNELS", "ping", "decide", "p50", "max/mean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -245,12 +245,24 @@ func (e *engine) peelOnce(iteration int, opts Options, last bool) *Layer {
 	for len(e.scratches) < workers {
 		e.scratches = append(e.scratches, &peelScratch{})
 	}
+	ko := opts.Observer
 	if workers <= 1 {
 		if nPaths > 0 {
+			if ko != nil {
+				ko.KernelStart("peel-measure", 1)
+				ko.KernelShardStart(0)
+			}
 			e.measureRange(0, nPaths, e.scratches[0], diamCap, opts, last)
+			if ko != nil {
+				ko.KernelShardEnd(0, nPaths)
+				ko.KernelEnd()
+			}
 		}
 	} else {
 		chunk := (nPaths + workers - 1) / workers
+		if ko != nil {
+			ko.KernelStart("peel-measure", (nPaths+chunk-1)/chunk)
+		}
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			lo := w * chunk
@@ -262,12 +274,21 @@ func (e *engine) peelOnce(iteration int, opts Options, last bool) *Layer {
 				break
 			}
 			wg.Add(1)
-			go func(lo, hi int, s *peelScratch) {
+			go func(w, lo, hi int, s *peelScratch) {
 				defer wg.Done()
+				if ko != nil {
+					ko.KernelShardStart(w)
+				}
 				e.measureRange(lo, hi, s, diamCap, opts, last)
-			}(lo, hi, e.scratches[w])
+				if ko != nil {
+					ko.KernelShardEnd(w, hi-lo)
+				}
+			}(w, lo, hi, e.scratches[w])
 		}
 		wg.Wait()
+		if ko != nil {
+			ko.KernelEnd()
+		}
 	}
 	layer := &Layer{Index: iteration}
 	var peeled []graph.ID

@@ -93,10 +93,34 @@ type Options struct {
 	// DefaultWorkers, 1 runs sequentially. The result is bit-identical
 	// for every worker count.
 	Workers int
+	// Observer, when non-nil, receives one "peel-measure" kernel span
+	// per iteration: per-worker busy times and path counts from the
+	// sharded path-measurement loop. Observability never changes the
+	// schedule or the result.
+	Observer KernelObserver
 	// NoForests skips materializing Result.Forests (map-backed Forest
 	// values built only for callers that inspect them; the peeling
 	// decisions never read them).
 	NoForests bool
+}
+
+// KernelObserver receives per-worker spans from the sharded path
+// measurement: KernelStart/KernelEnd bracket one iteration's launch from
+// the driving goroutine, KernelShardStart/KernelShardEnd bracket one
+// worker's range from its goroutine (distinct shard indices, each on
+// exactly one goroutine per launch; items is the number of paths the
+// shard measured). The kernel never reads the wall clock — the observer
+// stamps the callbacks, exactly as with dist engine rounds.
+//
+// The method set is structurally identical to dist.KernelObserver, on
+// purpose: peel stays free of the simulator package, while one
+// implementation (obs.Collector) satisfies both interfaces and callers
+// holding a dist.RoundObserver convert with a plain type assertion.
+type KernelObserver interface {
+	KernelStart(kernel string, shards int)
+	KernelShardStart(shard int)
+	KernelShardEnd(shard, items int)
+	KernelEnd()
 }
 
 // runReference is the original map-backed implementation of Run, kept as
