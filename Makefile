@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-budgets lint-bench lint-diff race fuzz-smoke ci bench-smoke bench bench-json bench-compare trace-smoke chaos-smoke tracestat-smoke experiments
+.PHONY: all build test vet lint lint-budgets lint-bench lint-diff race fuzz-smoke ci bench-smoke bench bench-json bench-compare trace-smoke chaos-smoke tracestat-smoke partition-smoke experiments
 
 all: build test
 
@@ -49,7 +49,7 @@ lint-diff:
 # parallel decide kernel reads concurrently, and the clique-tree stage
 # the pipeline shards.
 race:
-	$(GO) test -race ./internal/dist ./internal/core ./internal/peel ./internal/exp ./internal/graph ./internal/view ./internal/cliquetree ./internal/obs ./cmd/tracestat .
+	$(GO) test -race ./internal/dist ./internal/core ./internal/peel ./internal/exp ./internal/graph ./internal/view ./internal/cliquetree ./internal/obs ./internal/wire ./cmd/tracestat .
 
 # Short fuzz runs of every Fuzz* target (10s each) so the fuzzers
 # execute somewhere instead of shipping as dormant seed-corpus tests.
@@ -65,7 +65,7 @@ fuzz-smoke:
 # concurrent core, run the whole test suite, then the fault-injection
 # and trace-analysis smokes. .github/workflows/ci.yml runs exactly this
 # target.
-ci: build vet lint lint-bench race test chaos-smoke tracestat-smoke bench-compare
+ci: build vet lint lint-bench race test chaos-smoke tracestat-smoke partition-smoke bench-compare
 
 # Quick-mode benchmark smoke: one iteration of the substrate and
 # experiment benchmarks plus the 20k-node end-to-end pipeline, with
@@ -144,6 +144,26 @@ tracestat-smoke:
 	$(GO) run ./cmd/tracestat check tracestat-smoke/a.jsonl tracestat-smoke/b.jsonl
 	$(GO) run ./cmd/tracestat diff tracestat-smoke/a.jsonl tracestat-smoke/b.jsonl
 	$(GO) run ./cmd/tracestat chrome tracestat-smoke/b.jsonl > tracestat-smoke/chrome.json
+
+# Partitioned-runtime smoke: the byte-identity gate for out-of-process
+# execution. The same-seed quick workload runs once on the in-process
+# LOCAL engine and once on 2 shard-host child processes; `tracestat
+# diff` must find zero divergence in the deterministic round/layer
+# records (the partitioned trace legitimately differs in timings and
+# wire_in_b/wire_out_b, which diff excludes). A second faulted pair
+# pins the same identity under an active dup/delay/drop schedule.
+partition-smoke:
+	mkdir -p partition-smoke
+	$(GO) run ./cmd/experiments -quick -trace partition-smoke/local.jsonl
+	$(GO) run ./cmd/experiments -quick -trace partition-smoke/part2.jsonl -partitions 2
+	$(GO) run ./cmd/tracestat check partition-smoke/local.jsonl partition-smoke/part2.jsonl
+	$(GO) run ./cmd/tracestat diff partition-smoke/local.jsonl partition-smoke/part2.jsonl
+	$(GO) run ./cmd/experiments -quick -trace partition-smoke/local-faulty.jsonl \
+		-faults drop=0.2,dup=0.2,delay=2 -fault-seed 7
+	$(GO) run ./cmd/experiments -quick -trace partition-smoke/part2-faulty.jsonl \
+		-faults drop=0.2,dup=0.2,delay=2 -fault-seed 7 -partitions 2
+	$(GO) run ./cmd/tracestat check partition-smoke/local-faulty.jsonl partition-smoke/part2-faulty.jsonl
+	$(GO) run ./cmd/tracestat diff partition-smoke/local-faulty.jsonl partition-smoke/part2-faulty.jsonl
 
 # Full experiment tables as recorded in EXPERIMENTS.md (slow).
 experiments:

@@ -92,25 +92,42 @@ func compareRecords(oldRec, newRec *Record) []compareRow {
 	return rows
 }
 
-// writeCompare renders the comparison table to w, any regression
-// warnings to warn, and a one-line PASS/FAIL summary to w. It returns
-// the number of warnings issued. All three metrics — ns/op, B/op,
-// allocs/op — warn past the threshold, so allocation regressions are as
-// visible as timing ones.
-func writeCompare(w, warn io.Writer, oldName, newName string, rows []compareRow) int {
+// compareSummary is writeCompare's tally: metric regressions past the
+// threshold, benchmarks compared on both sides, and the names present on
+// only one side. Added names are new coverage (informational); removed
+// names mean a benchmark vanished from the regression gate — usually a
+// rename — which runCompare treats as a failure.
+type compareSummary struct {
+	Warnings int
+	Compared int
+	Added    int
+	Removed  int
+}
+
+// writeCompare renders the comparison table to w, any regression or
+// coverage warnings to warn, and a one-line PASS/FAIL summary (which
+// always counts added/removed names) to w. All three metrics — ns/op,
+// B/op, allocs/op — warn past the threshold, so allocation regressions
+// are as visible as timing ones; benchmarks present in only one record
+// are counted and reported instead of silently dropping out of the
+// table.
+func writeCompare(w, warn io.Writer, oldName, newName string, rows []compareRow) compareSummary {
 	fmt.Fprintf(w, "benchmark comparison: %s -> %s\n", oldName, newName)
-	warnings := 0
-	compared := 0
+	var sum compareSummary
 	for _, row := range rows {
 		switch {
 		case row.Old == nil:
-			fmt.Fprintf(w, "%-40s only in %s\n", row.Name, newName)
+			sum.Added++
+			fmt.Fprintf(w, "%-40s only in %s (added)\n", row.Name, newName)
 			continue
 		case row.New == nil:
-			fmt.Fprintf(w, "%-40s only in %s\n", row.Name, oldName)
+			sum.Removed++
+			fmt.Fprintf(w, "%-40s only in %s (removed)\n", row.Name, oldName)
+			fmt.Fprintf(warn, "benchjson: WARNING: %s is in %s but not %s — it left the regression gate (renamed or deleted?)\n",
+				row.Name, oldName, newName)
 			continue
 		}
-		compared++
+		sum.Compared++
 		fmt.Fprintf(w, "%s\n", row.Name)
 		for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
 			ov, oOK := metric(row.Old, unit)
@@ -127,18 +144,18 @@ func writeCompare(w, warn io.Writer, oldName, newName string, rows []compareRow)
 			if d > regressionWarnThreshold {
 				fmt.Fprintf(warn, "benchjson: WARNING: %s %s regressed %.1f%% (%s -> %s)\n",
 					row.Name, unit, 100*d, oldName, newName)
-				warnings++
+				sum.Warnings++
 			}
 		}
 	}
-	if warnings == 0 {
-		fmt.Fprintf(w, "PASS: %d benchmarks compared, no metric regressed >%.0f%%\n",
-			compared, 100*regressionWarnThreshold)
+	if sum.Warnings == 0 && sum.Removed == 0 {
+		fmt.Fprintf(w, "PASS: %d benchmarks compared (%d added, %d removed), no metric regressed >%.0f%%\n",
+			sum.Compared, sum.Added, sum.Removed, 100*regressionWarnThreshold)
 	} else {
-		fmt.Fprintf(w, "FAIL: %d metric regression(s) >%.0f%% across %d benchmarks (non-fatal)\n",
-			warnings, 100*regressionWarnThreshold, compared)
+		fmt.Fprintf(w, "FAIL: %d metric regression(s) >%.0f%% across %d benchmarks (%d added, %d removed)\n",
+			sum.Warnings, 100*regressionWarnThreshold, sum.Compared, sum.Added, sum.Removed)
 	}
-	return warnings
+	return sum
 }
 
 func loadRecord(path string) (*Record, error) {
@@ -154,8 +171,12 @@ func loadRecord(path string) (*Record, error) {
 }
 
 // runCompare implements `benchjson compare OLD.json NEW.json`. Missing
-// record files and regressions are reported but never fail the run: the
-// subcommand is a CI trend report, not a gate.
+// record files and metric regressions are reported but do not fail the
+// run — the metric deltas are a CI trend report, not a gate. Benchmarks
+// that disappeared between the records DO fail it (exit 1): a vanished
+// name means a benchmark silently left the regression gate, which is
+// exactly how a rename would mask a regression. Newly added benchmarks
+// are counted but never fatal.
 func runCompare(args []string) int {
 	if len(args) != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchjson compare OLD.json NEW.json")
@@ -171,6 +192,9 @@ func runCompare(args []string) int {
 		fmt.Fprintln(os.Stderr, "benchjson: skipping comparison:", err)
 		return 0
 	}
-	writeCompare(os.Stdout, os.Stderr, args[0], args[1], compareRecords(oldRec, newRec))
+	sum := writeCompare(os.Stdout, os.Stderr, args[0], args[1], compareRecords(oldRec, newRec))
+	if sum.Removed > 0 {
+		return 1
+	}
 	return 0
 }

@@ -57,11 +57,11 @@ func TestWriteCompareImprovementNoWarning(t *testing.T) {
 		rec(Benchmark{Name: "Prune-8", NsPerOp: 40, Metrics: map[string]float64{"B/op": 20, "allocs/op": 4}}),
 	)
 	var out, warn strings.Builder
-	if n := writeCompare(&out, &warn, "old.json", "new.json", rows); n != 0 {
-		t.Fatalf("got %d warnings, want 0; stderr:\n%s", n, warn.String())
+	if sum := writeCompare(&out, &warn, "old.json", "new.json", rows); sum.Warnings != 0 {
+		t.Fatalf("got %d warnings, want 0; stderr:\n%s", sum.Warnings, warn.String())
 	}
 	text := out.String()
-	for _, want := range []string{"Prune", "ns/op", "-60.0%", "B/op", "allocs/op", "PASS: 1 benchmarks compared"} {
+	for _, want := range []string{"Prune", "ns/op", "-60.0%", "B/op", "allocs/op", "PASS: 1 benchmarks compared (0 added, 0 removed)"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("output missing %q:\n%s", want, text)
 		}
@@ -74,8 +74,8 @@ func TestWriteCompareRegressionWarns(t *testing.T) {
 		rec(Benchmark{Name: "Prune-8", NsPerOp: 115}),
 	)
 	var out, warn strings.Builder
-	if n := writeCompare(&out, &warn, "old.json", "new.json", rows); n != 1 {
-		t.Fatalf("got %d warnings, want 1; stderr:\n%s", n, warn.String())
+	if sum := writeCompare(&out, &warn, "old.json", "new.json", rows); sum.Warnings != 1 {
+		t.Fatalf("got %d warnings, want 1; stderr:\n%s", sum.Warnings, warn.String())
 	}
 	if !strings.Contains(warn.String(), "ns/op regressed 15.0%") {
 		t.Errorf("warning text: %q", warn.String())
@@ -94,8 +94,8 @@ func TestWriteCompareMemoryRegressionWarns(t *testing.T) {
 		rec(Benchmark{Name: "Flood-8", NsPerOp: 101, Metrics: map[string]float64{"B/op": 1300, "allocs/op": 140}}),
 	)
 	var out, warn strings.Builder
-	if n := writeCompare(&out, &warn, "old.json", "new.json", rows); n != 2 {
-		t.Fatalf("got %d warnings, want 2; stderr:\n%s", n, warn.String())
+	if sum := writeCompare(&out, &warn, "old.json", "new.json", rows); sum.Warnings != 2 {
+		t.Fatalf("got %d warnings, want 2; stderr:\n%s", sum.Warnings, warn.String())
 	}
 	for _, want := range []string{"B/op regressed 30.0%", "allocs/op regressed 40.0%"} {
 		if !strings.Contains(warn.String(), want) {
@@ -110,7 +110,71 @@ func TestWriteCompareWithinThresholdNoWarning(t *testing.T) {
 		rec(Benchmark{Name: "Prune-8", NsPerOp: 109}),
 	)
 	var out, warn strings.Builder
-	if n := writeCompare(&out, &warn, "old.json", "new.json", rows); n != 0 {
+	if sum := writeCompare(&out, &warn, "old.json", "new.json", rows); sum.Warnings != 0 {
 		t.Fatalf("9%% drift warned: %s", warn.String())
+	}
+}
+
+// TestWriteCompareCountsOneSidedBenchmarks: benchmarks present in only
+// one record must be counted in the summary, and a removed name — one
+// that silently left the regression gate — must produce a warning and a
+// FAIL summary. Before the fix, one-sided rows were printed but excluded
+// from every count, so a rename could drop a benchmark from the gate
+// with a PASS summary.
+func TestWriteCompareCountsOneSidedBenchmarks(t *testing.T) {
+	rows := compareRecords(
+		rec(
+			Benchmark{Name: "Prune-8", NsPerOp: 100},
+			Benchmark{Name: "Gone-8", NsPerOp: 7},
+		),
+		rec(
+			Benchmark{Name: "Prune-8", NsPerOp: 100},
+			Benchmark{Name: "Fresh-8", NsPerOp: 3},
+		),
+	)
+	var out, warn strings.Builder
+	sum := writeCompare(&out, &warn, "old.json", "new.json", rows)
+	if sum.Compared != 1 || sum.Added != 1 || sum.Removed != 1 || sum.Warnings != 0 {
+		t.Fatalf("summary = %+v, want {Compared:1 Added:1 Removed:1 Warnings:0}", sum)
+	}
+	if !strings.Contains(warn.String(), "Gone is in old.json but not new.json") {
+		t.Errorf("removed benchmark not warned about: %q", warn.String())
+	}
+	if strings.Contains(warn.String(), "Fresh") {
+		t.Errorf("added benchmark should not warn: %q", warn.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"only in new.json (added)",
+		"only in old.json (removed)",
+		"FAIL: 0 metric regression(s)",
+		"(1 added, 1 removed)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestWriteCompareAddedOnlyStillPasses: new coverage alone (no removals,
+// no regressions) keeps the PASS summary — additions are informational.
+func TestWriteCompareAddedOnlyStillPasses(t *testing.T) {
+	rows := compareRecords(
+		rec(Benchmark{Name: "Prune-8", NsPerOp: 100}),
+		rec(
+			Benchmark{Name: "Prune-8", NsPerOp: 100},
+			Benchmark{Name: "Fresh-8", NsPerOp: 3},
+		),
+	)
+	var out, warn strings.Builder
+	sum := writeCompare(&out, &warn, "old.json", "new.json", rows)
+	if sum.Removed != 0 || sum.Added != 1 || sum.Warnings != 0 {
+		t.Fatalf("summary = %+v, want {Added:1 Removed:0 Warnings:0}", sum)
+	}
+	if !strings.Contains(out.String(), "PASS: 1 benchmarks compared (1 added, 0 removed)") {
+		t.Errorf("summary line missing from:\n%s", out.String())
+	}
+	if warn.Len() != 0 {
+		t.Errorf("added-only compare warned: %q", warn.String())
 	}
 }

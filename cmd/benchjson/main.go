@@ -15,8 +15,12 @@
 //
 //	go run ./cmd/benchjson compare BENCH_4.json BENCH_5.json
 //
-// A >10% ns/op regression prints a warning to stderr but the exit
-// status stays 0 — the report is a CI trend line, not a gate.
+// A >10% regression in ns/op, B/op, or allocs/op prints a warning to
+// stderr but keeps exit status 0 — metric deltas are a CI trend line,
+// not a gate. A benchmark name present in the old record but missing
+// from the new one exits 1: a vanished name has silently left the
+// regression gate (usually a rename), which the trend line must not
+// paper over. Added names are reported but stay non-fatal.
 package main
 
 import (

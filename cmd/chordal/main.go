@@ -42,9 +42,13 @@ import (
 	"repro/internal/obs"
 	"repro/internal/peel"
 	"repro/internal/verify"
+	"repro/internal/wire"
 )
 
 func main() {
+	// When re-executed as a shard host (-partitions spawns copies of this
+	// binary), serve the shard and exit before touching flags.
+	wire.MaybeShardHost()
 	var (
 		alg        = flag.String("alg", "color", "algorithm: color | color-dist | color-any | stats | recognize | mis | mis-dist | mis-interval | exact-color | exact-mis | greedy | luby | forest | check | gen")
 		eps        = flag.Float64("eps", 0.25, "approximation parameter ε")
@@ -56,6 +60,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "generator seed")
 		trace      = flag.String("trace", "", "write a JSONL round trace (color-dist and mis-dist only)")
 		metrics    = flag.Bool("metrics", false, "collect deep kernel metrics (worker spans, phase timelines, heap snapshots) and print aggregate tables to stderr; works with color, color-dist, mis, mis-dist")
+		partitions = flag.Int("partitions", 0, "run the message-passing phases on this many shard-host child processes (color-dist and mis-dist only; 0 = in-process LOCAL engine; results are byte-identical)")
 		faults     = flag.String("faults", "", "fault spec drop=P,dup=P,delay=D,crash=NODE@ROUND (color-dist and mis-dist only)")
 		faultSeed  = flag.Uint64("fault-seed", 7, "seed of the deterministic fault schedule used by -faults")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -69,14 +74,14 @@ func main() {
 	core.DefaultStageWorkers = *workers
 	peel.DefaultWorkers = *workers
 
-	if err := run(*alg, *eps, *in, *out, *genKind, *n, *maxClique, *seed,
+	if err := run(*alg, *eps, *in, *out, *genKind, *n, *maxClique, *seed, *partitions,
 		*trace, *metrics, *faults, *faultSeed, *cpuprofile, *memprofile, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "chordal:", err)
 		os.Exit(1)
 	}
 }
 
-func run(alg string, eps float64, in, out, genKind string, n, maxClique int, seed int64,
+func run(alg string, eps float64, in, out, genKind string, n, maxClique int, seed int64, partitions int,
 	trace string, metrics bool, faults string, faultSeed uint64, cpuprofile, memprofile, pprofAddr string) error {
 	if cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(cpuprofile)
@@ -148,6 +153,9 @@ func run(alg string, eps float64, in, out, genKind string, n, maxClique int, see
 		}
 		var err error
 		if faultPlan, err = dist.ParseFaults(faults, faultSeed); err != nil {
+			if dist.IsInactive(err) {
+				return fmt.Errorf("-faults %q parses to a schedule that can never fire (all rates zero, no crashes); fix the spec or drop the flag for a fault-free run", faults)
+			}
 			return err
 		}
 	}
@@ -157,6 +165,28 @@ func run(alg string, eps float64, in, out, genKind string, n, maxClique int, see
 		return err
 	}
 	fmt.Printf("graph: n=%d m=%d chordal=%v\n", g.NumNodes(), g.NumEdges(), chordal.IsChordal(g))
+
+	// The partition is nil unless -partitions is given; the distributed
+	// pipelines then host the graph on shard-host child processes (copies
+	// of this binary, see MaybeShardHost) instead of the LOCAL engine.
+	var part *dist.Partition
+	if partitions > 0 {
+		if alg != "color-dist" && alg != "mis-dist" {
+			return fmt.Errorf("-partitions applies to the distributed algorithms (color-dist, mis-dist)")
+		}
+		cluster, err := wire.StartCluster(partitions, wire.SelfSpawn())
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := cluster.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "chordal:", err)
+			}
+		}()
+		if part, err = cluster.Partition(graph.NewIndexed(g)); err != nil {
+			return err
+		}
+	}
 
 	switch alg {
 	case "gen":
@@ -245,7 +275,12 @@ func run(alg string, eps float64, in, out, genKind string, n, maxClique int, see
 		if collector != nil {
 			peelTrace = collector.PeelTrace()
 		}
-		res, err := core.ColorChordalDistributedFaulty(g, eps, observer, peelTrace, faultPlan)
+		var res *core.ChordalColoring
+		if part != nil {
+			res, err = core.ColorChordalDistributedFaultyPart(g, eps, observer, peelTrace, faultPlan, part)
+		} else {
+			res, err = core.ColorChordalDistributedFaulty(g, eps, observer, peelTrace, faultPlan)
+		}
 		if err != nil {
 			return err
 		}
@@ -266,7 +301,12 @@ func run(alg string, eps float64, in, out, genKind string, n, maxClique int, see
 		if collector != nil {
 			peelTrace = collector.PeelTrace()
 		}
-		res, err := core.MISChordalDistributedFaulty(g, eps, observer, peelTrace, faultPlan)
+		var res *core.ChordalMISResult
+		if part != nil {
+			res, err = core.MISChordalDistributedFaultyPart(g, eps, observer, peelTrace, faultPlan, part)
+		} else {
+			res, err = core.MISChordalDistributedFaulty(g, eps, observer, peelTrace, faultPlan)
+		}
 		if err != nil {
 			return err
 		}

@@ -5,7 +5,17 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/wire"
 )
+
+// TestMain makes the test binary a valid shard host: the partitioned
+// tests spawn copies of it via wire.SelfSpawn, exactly as the installed
+// binary re-executes itself under -partitions.
+func TestMain(m *testing.M) {
+	wire.MaybeShardHost()
+	os.Exit(m.Run())
+}
 
 func TestRunAlgorithms(t *testing.T) {
 	for _, alg := range []string{"color", "mis", "mis-interval", "exact-color",
@@ -14,7 +24,7 @@ func TestRunAlgorithms(t *testing.T) {
 		if alg == "mis-interval" {
 			genKind = "interval"
 		}
-		if err := run(alg, 0.5, "", "", genKind, 60, 4, 1, "", false, "", 7, "", "", ""); err != nil {
+		if err := run(alg, 0.5, "", "", genKind, 60, 4, 1, 0, "", false, "", 7, "", "", ""); err != nil {
 			t.Errorf("alg %s: %v", alg, err)
 		}
 	}
@@ -24,10 +34,10 @@ func TestRunDistributedAlgorithms(t *testing.T) {
 	if testing.Short() {
 		t.Skip("distributed runs are slower")
 	}
-	if err := run("color-dist", 0.7, "", "", "random", 50, 4, 2, "", false, "", 7, "", "", ""); err != nil {
+	if err := run("color-dist", 0.7, "", "", "random", 50, 4, 2, 0, "", false, "", 7, "", "", ""); err != nil {
 		t.Errorf("color-dist: %v", err)
 	}
-	if err := run("mis-dist", 0.8, "", "", "random", 40, 4, 2, "", false, "", 7, "", "", ""); err != nil {
+	if err := run("mis-dist", 0.8, "", "", "random", 40, 4, 2, 0, "", false, "", 7, "", "", ""); err != nil {
 		t.Errorf("mis-dist: %v", err)
 	}
 }
@@ -40,7 +50,7 @@ func TestRunTraceAndProfiles(t *testing.T) {
 	trace := filepath.Join(dir, "run.jsonl")
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
-	if err := run("color-dist", 0.7, "", "", "random", 50, 4, 2, trace, false, "", 7, cpu, mem, ""); err != nil {
+	if err := run("color-dist", 0.7, "", "", "random", 50, 4, 2, 0, trace, false, "", 7, cpu, mem, ""); err != nil {
 		t.Fatalf("traced color-dist: %v", err)
 	}
 	for _, p := range []string{trace, cpu, mem} {
@@ -58,10 +68,10 @@ func TestRunMetrics(t *testing.T) {
 	// -metrics without -trace: the collector stays in memory and only
 	// the stderr tables appear; the runs must succeed for both the
 	// centralized and distributed pipelines.
-	if err := run("color", 0.5, "", "", "random", 60, 4, 1, "", true, "", 7, "", "", ""); err != nil {
+	if err := run("color", 0.5, "", "", "random", 60, 4, 1, 0, "", true, "", 7, "", "", ""); err != nil {
 		t.Errorf("color -metrics: %v", err)
 	}
-	if err := run("mis", 0.5, "", "", "random", 60, 4, 1, "", true, "", 7, "", "", ""); err != nil {
+	if err := run("mis", 0.5, "", "", "random", 60, 4, 1, 0, "", true, "", 7, "", "", ""); err != nil {
 		t.Errorf("mis -metrics: %v", err)
 	}
 	if testing.Short() {
@@ -69,7 +79,7 @@ func TestRunMetrics(t *testing.T) {
 	}
 	// -metrics with -trace persists the v3 records for cmd/tracestat.
 	trace := filepath.Join(t.TempDir(), "run.jsonl")
-	if err := run("color-dist", 0.7, "", "", "random", 50, 4, 2, trace, true, "", 7, "", "", ""); err != nil {
+	if err := run("color-dist", 0.7, "", "", "random", 50, 4, 2, 0, trace, true, "", 7, "", "", ""); err != nil {
 		t.Fatalf("color-dist -metrics -trace: %v", err)
 	}
 	data, err := os.ReadFile(trace)
@@ -86,44 +96,68 @@ func TestRunMetrics(t *testing.T) {
 func TestRunGenerateAndLoad(t *testing.T) {
 	dir := t.TempDir()
 	file := filepath.Join(dir, "g.json")
-	if err := run("gen", 0.5, "", file, "random", 30, 4, 3, "", false, "", 7, "", "", ""); err != nil {
+	if err := run("gen", 0.5, "", file, "random", 30, 4, 3, 0, "", false, "", 7, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(file); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("color", 0.5, file, "", "", 0, 0, 0, "", false, "", 7, "", "", ""); err != nil {
+	if err := run("color", 0.5, file, "", "", 0, 0, 0, 0, "", false, "", 7, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", 0.5, "", "", "random", 10, 3, 1, "", false, "", 7, "", "", ""); err == nil {
+	if err := run("nope", 0.5, "", "", "random", 10, 3, 1, 0, "", false, "", 7, "", "", ""); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run("color", 0.5, "", "", "nope", 10, 3, 1, "", false, "", 7, "", "", ""); err == nil {
+	if err := run("color", 0.5, "", "", "nope", 10, 3, 1, 0, "", false, "", 7, "", "", ""); err == nil {
 		t.Error("unknown generator accepted")
 	}
-	if err := run("color", 0.5, "/does/not/exist.json", "", "", 0, 0, 0, "", false, "", 7, "", "", ""); err == nil {
+	if err := run("color", 0.5, "/does/not/exist.json", "", "", 0, 0, 0, 0, "", false, "", 7, "", "", ""); err == nil {
 		t.Error("missing input file accepted")
 	}
 }
 
 func TestRunAllGenerators(t *testing.T) {
 	for _, kind := range []string{"random", "interval", "tree", "path", "ktree"} {
-		if err := run("check", 0.5, "", "", kind, 40, 3, 4, "", false, "", 7, "", "", ""); err != nil {
+		if err := run("check", 0.5, "", "", kind, 40, 3, 4, 0, "", false, "", 7, "", "", ""); err != nil {
 			t.Errorf("generator %s: %v", kind, err)
 		}
 	}
 }
 
 func TestRunRecognize(t *testing.T) {
-	if err := run("recognize", 0.5, "", "", "interval", 40, 4, 2, "", false, "", 7, "", "", ""); err != nil {
+	if err := run("recognize", 0.5, "", "", "interval", 40, 4, 2, 0, "", false, "", 7, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// Non-interval input is rejected cleanly.
-	if err := run("recognize", 0.5, "", "", "random", 60, 4, 3, "", false, "", 7, "", "", ""); err == nil {
+	if err := run("recognize", 0.5, "", "", "random", 60, 4, 3, 0, "", false, "", 7, "", "", ""); err == nil {
 		t.Log("random chordal happened to be interval; acceptable")
+	}
+}
+
+func TestRunPartitioned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	// The full distributed pipelines on 2 shard-host child processes;
+	// results are verified by the same reportColoring/reportMIS checks as
+	// the LOCAL runs (and byte-identity is pinned by the cross-check
+	// suites in internal/core and internal/wire).
+	if err := run("color-dist", 0.7, "", "", "random", 50, 4, 2, 2, "", false, "", 7, "", "", ""); err != nil {
+		t.Errorf("color-dist -partitions 2: %v", err)
+	}
+	if err := run("mis-dist", 0.8, "", "", "random", 40, 4, 2, 2, "", false, "", 7, "", "", ""); err != nil {
+		t.Errorf("mis-dist -partitions 2: %v", err)
+	}
+	// Partitioned runs accept ParseFaults-built schedules too.
+	if err := run("color-dist", 0.7, "", "", "random", 50, 4, 2, 2, "", false, "dup=0.2,delay=2", 7, "", "", ""); err != nil {
+		t.Errorf("color-dist -partitions 2 under dup+delay: %v", err)
+	}
+	// -partitions on a non-distributed algorithm is a usage error.
+	if err := run("color", 0.5, "", "", "random", 30, 4, 1, 2, "", false, "", 7, "", "", ""); err == nil {
+		t.Error("-partitions accepted for a centralized algorithm")
 	}
 }
 
@@ -133,15 +167,15 @@ func TestRunFaultFlags(t *testing.T) {
 	}
 	// Absorbable faults (duplication + delay) leave the distributed
 	// coloring correct; the run must succeed.
-	if err := run("color-dist", 0.7, "", "", "random", 50, 4, 2, "", false, "dup=0.2,delay=2", 7, "", "", ""); err != nil {
+	if err := run("color-dist", 0.7, "", "", "random", 50, 4, 2, 0, "", false, "dup=0.2, delay=2", 7, "", "", ""); err != nil {
 		t.Errorf("color-dist under dup+delay: %v", err)
 	}
 	// -faults on a non-distributed algorithm is a usage error.
-	if err := run("color", 0.5, "", "", "random", 30, 4, 1, "", false, "dup=0.2", 7, "", "", ""); err == nil {
+	if err := run("color", 0.5, "", "", "random", 30, 4, 1, 0, "", false, "dup=0.2", 7, "", "", ""); err == nil {
 		t.Error("-faults accepted for a centralized algorithm")
 	}
 	// A malformed spec is rejected before any work happens.
-	if err := run("color-dist", 0.7, "", "", "random", 30, 4, 1, "", false, "dorp=0.2", 7, "", "", ""); err == nil {
+	if err := run("color-dist", 0.7, "", "", "random", 30, 4, 1, 0, "", false, "dorp=0.2", 7, "", "", ""); err == nil {
 		t.Error("malformed -faults spec accepted")
 	}
 }

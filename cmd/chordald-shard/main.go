@@ -1,0 +1,47 @@
+// Command chordald-shard is a standalone shard host for the partitioned
+// runtime: it dials a coordinator (retrying while the listener comes
+// up), announces its shard index, and serves graph sessions and protocol
+// rounds until the coordinator shuts it down. cmd/chordal and
+// cmd/experiments normally re-execute themselves as shard hosts
+// (-partitions), so this binary exists for driving shard hosts
+// explicitly — other machines, containers, or debugging one shard under
+// a separate process.
+//
+// Usage:
+//
+//	chordald-shard -addr 127.0.0.1:4000 -shard 0
+//
+// The spawn environment variables used by self-execution
+// (CHORDALD_SHARD_ADDR / CHORDALD_SHARD_INDEX) work here too and take
+// precedence over the flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	// Registers the "correction" program so coordinators can run the
+	// color-correction choreography on this host; the flood programs
+	// register from internal/dist itself.
+	_ "repro/internal/core"
+	"repro/internal/wire"
+)
+
+func main() {
+	wire.MaybeShardHost()
+	var (
+		addr  = flag.String("addr", "", "coordinator address to dial (host:port)")
+		shard = flag.Int("shard", -1, "shard index to announce")
+	)
+	flag.Parse()
+	if *addr == "" || *shard < 0 {
+		fmt.Fprintln(os.Stderr, "chordald-shard: -addr and -shard are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := wire.RunShard(*addr, *shard); err != nil {
+		fmt.Fprintf(os.Stderr, "chordald-shard: shard %d: %v\n", *shard, err)
+		os.Exit(1)
+	}
+}

@@ -33,15 +33,21 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/exp"
+	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/peel"
+	"repro/internal/wire"
 )
 
 func main() {
+	// When re-executed as a shard host (-partitions spawns copies of this
+	// binary), serve the shard and exit before touching flags.
+	wire.MaybeShardHost()
 	quick := flag.Bool("quick", false, "shrink parameter sweeps for a fast run")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E7); empty = all")
 	trace := flag.String("trace", "", "write a JSONL round trace of the tracing workload to this file (skips the tables)")
 	metrics := flag.Bool("metrics", false, "run the tracing workload with deep kernel metrics (worker spans, phase timelines, heap snapshots) and print aggregate tables to stderr (skips the experiment tables)")
+	partitions := flag.Int("partitions", 0, "run the -trace workload's message-passing stages on this many shard-host child processes (0 = in-process LOCAL engine; deterministic trace fields are byte-identical)")
 	faults := flag.String("faults", "", "fault spec drop=P,dup=P,delay=D,crash=NODE@ROUND for the -trace workload")
 	faultSeed := flag.Uint64("fault-seed", 7, "seed of the deterministic fault schedule used by -faults")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -54,13 +60,13 @@ func main() {
 	core.DefaultStageWorkers = *workers
 	peel.DefaultWorkers = *workers
 
-	if err := run(*quick, *only, *trace, *metrics, *faults, *faultSeed, *cpuprofile, *memprofile, *pprofAddr); err != nil {
+	if err := run(*quick, *only, *trace, *metrics, *partitions, *faults, *faultSeed, *cpuprofile, *memprofile, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, only, trace string, metrics bool, faults string, faultSeed uint64, cpuprofile, memprofile, pprofAddr string) error {
+func run(quick bool, only, trace string, metrics bool, partitions int, faults string, faultSeed uint64, cpuprofile, memprofile, pprofAddr string) error {
 	if cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(cpuprofile)
 		if err != nil {
@@ -91,6 +97,9 @@ func run(quick bool, only, trace string, metrics bool, faults string, faultSeed 
 	if faults != "" && trace == "" && !metrics {
 		return fmt.Errorf("-faults applies to the tracing workload; pass -trace or -metrics too")
 	}
+	if partitions > 0 && trace == "" && !metrics {
+		return fmt.Errorf("-partitions applies to the tracing workload; pass -trace or -metrics too")
+	}
 	if trace != "" || metrics {
 		c := obs.NewCollector()
 		var f *os.File
@@ -105,15 +114,37 @@ func run(quick bool, only, trace string, metrics bool, faults string, faultSeed 
 		if metrics {
 			c.SetMemStats(true)
 		}
-		if faults != "" {
-			plan, err := dist.ParseFaults(faults, faultSeed)
+		// With -partitions the workload's message-passing stages run on
+		// shard-host child processes (copies of this binary, see
+		// MaybeShardHost); the partitioner re-sessions the fleet for each
+		// graph the workload visits.
+		var partFor exp.Partitioner
+		if partitions > 0 {
+			cluster, err := wire.StartCluster(partitions, wire.SelfSpawn())
 			if err != nil {
 				return err
 			}
-			if err := exp.FaultTraceRunCollector(c, quick, plan); err != nil {
+			defer func() {
+				if err := cluster.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+				}
+			}()
+			partFor = func(ix *graph.Indexed) (*dist.Partition, error) {
+				return cluster.Partition(ix)
+			}
+		}
+		if faults != "" {
+			plan, err := dist.ParseFaults(faults, faultSeed)
+			if err != nil {
+				if dist.IsInactive(err) {
+					return fmt.Errorf("-faults %q parses to a schedule that can never fire (all rates zero, no crashes); fix the spec or drop the flag for a fault-free run", faults)
+				}
 				return err
 			}
-		} else if err := exp.TraceRunCollector(c, quick); err != nil {
+			if err := exp.FaultTraceRunCollectorPart(c, quick, plan, partFor); err != nil {
+				return err
+			}
+		} else if err := exp.TraceRunCollectorPart(c, quick, partFor); err != nil {
 			return err
 		}
 		if metrics {

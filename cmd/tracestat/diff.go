@@ -11,9 +11,12 @@ import (
 // deterministicFields lists the fields of a round/layer record that are
 // pure functions of (graph, protocol, seed, fault plan) — exactly the
 // fields canonical mode keeps, plus run/round identity. Timings, shard
-// schedules, and t_ns describe the hardware and are excluded, as are
-// the v3 kernel/phase/mem measurement records entirely, so diff answers
-// "did the computation diverge", never "did the machine differ".
+// schedules, t_ns, and the wire_in_b/wire_out_b transport counters of
+// partitioned runs describe the hardware/deployment and are excluded,
+// as are the v3 kernel/phase/mem measurement records entirely, so diff
+// answers "did the computation diverge", never "did the machine (or
+// process layout) differ" — a LOCAL trace and a partitioned trace of
+// the same inputs diff clean.
 var deterministicFields = []struct {
 	name string
 	get  func(ev obs.Event) any

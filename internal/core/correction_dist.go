@@ -173,6 +173,57 @@ func RunCorrectionPhaseObserved(g *graph.Graph, layer map[graph.ID]int, parent m
 // the corrected coloring untouched; dropped messages stall the
 // choreography and surface as the engine's did-not-terminate error.
 func RunCorrectionPhaseFaulty(g *graph.Graph, layer map[graph.ID]int, parent map[graph.ID]graph.ID, finalColors map[graph.ID]int, k int, o dist.RoundObserver, f *dist.Faults) (int, error) {
+	pre := correctionPrecompute(g, layer, parent, finalColors, k, o)
+	ix := pre.ix
+	n := ix.NumNodes()
+	nodes := make([]correctionNode, n)
+	eng := dist.NewEngineIndexed(ix, func(v graph.ID) dist.Protocol {
+		i, _ := ix.IndexOf(v)
+		nodes[i] = pre.node(int32(i))
+		return &nodes[i]
+	})
+	eng.Observer = o
+	eng.Faults = f
+	res, err := eng.Run(pre.maxRounds)
+	if err != nil {
+		return 0, fmt.Errorf("correction phase: %w", err)
+	}
+	for _, v := range ix.IDs() {
+		if !res.Outputs[v].(bool) {
+			return 0, fmt.Errorf("node %d never finalized", v)
+		}
+	}
+	return res.Rounds, nil
+}
+
+// corrPre is the precomputed shared state of one correction run — the
+// part of the choreography that is a pure function of its inputs and
+// runs coordinator-side in every execution mode (the "correction-setup"
+// kernel shards stay in the coordinator's trace, LOCAL or partitioned).
+type corrPre struct {
+	ix        *graph.Indexed
+	sh        *corrShared
+	hasParent []bool
+	nodeGOff  []int32
+	ttl       int
+	maxRounds int
+}
+
+// node builds the protocol state of the node at snapshot index i.
+func (pre *corrPre) node(i int32) correctionNode {
+	return correctionNode{
+		sh:        pre.sh,
+		idx:       i,
+		hasParent: pre.hasParent[i],
+		ttl:       pre.ttl,
+		gOff:      pre.nodeGOff[i],
+		gEnd:      pre.nodeGOff[i+1],
+	}
+}
+
+// correctionPrecompute flattens the layer/parent/color maps into the
+// shared index-space slabs the choreography runs on.
+func correctionPrecompute(g *graph.Graph, layer map[graph.ID]int, parent map[graph.ID]graph.ID, finalColors map[graph.ID]int, k int, o dist.RoundObserver) *corrPre {
 	ix := graph.NewIndexed(g)
 	n := ix.NumNodes()
 	ids := ix.IDs()
@@ -272,30 +323,12 @@ func RunCorrectionPhaseFaulty(g *graph.Graph, layer map[graph.ID]int, parent map
 		groups[gi].gateEnd = int32(len(gates))
 	}
 	sh := &corrShared{groups: groups, kidIdx: kidIdx, kidColor: kidColor, gates: gates}
-
-	nodes := make([]correctionNode, n)
-	eng := dist.NewEngineIndexed(ix, func(v graph.ID) dist.Protocol {
-		i, _ := ix.IndexOf(v)
-		nodes[i] = correctionNode{
-			sh:        sh,
-			idx:       int32(i),
-			hasParent: hasParent[i],
-			ttl:       k + 5,
-			gOff:      nodeGOff[i],
-			gEnd:      nodeGOff[i+1],
-		}
-		return &nodes[i]
-	})
-	eng.Observer = o
-	eng.Faults = f
-	res, err := eng.Run(20 * (g.NumNodes() + 10) * (k + 5))
-	if err != nil {
-		return 0, fmt.Errorf("correction phase: %w", err)
+	return &corrPre{
+		ix:        ix,
+		sh:        sh,
+		hasParent: hasParent,
+		nodeGOff:  nodeGOff,
+		ttl:       k + 5,
+		maxRounds: 20 * (g.NumNodes() + 10) * (k + 5),
 	}
-	for _, v := range ids {
-		if !res.Outputs[v].(bool) {
-			return 0, fmt.Errorf("node %d never finalized", v)
-		}
-	}
-	return res.Rounds, nil
 }

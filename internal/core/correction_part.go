@@ -1,0 +1,201 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// This file runs the correction choreography on the partitioned
+// runtime. The choreography's shared state (corrShared plus the
+// per-node parent/group tables) is precomputed coordinator-side — so
+// the "correction-setup" kernel spans stay in the coordinator's trace
+// exactly as on a LOCAL run — and shipped to the shards as the
+// program's parameters. Payloads are value types (finalMsg /
+// setColorMsg) with no Sizer, matching the LOCAL engine's unit volume
+// accounting; the codec preserves the concrete types so the protocol's
+// type switch behaves identically on both sides of the wire.
+
+// corrGroupWire / corrParamsWire are the gob form of corrPre.
+type corrGroupWire struct {
+	Layer            int32
+	KidOff, KidEnd   int32
+	GateOff, GateEnd int32
+}
+
+type corrParamsWire struct {
+	Groups    []corrGroupWire
+	KidIdx    []int32
+	KidColor  []int
+	Gates     []int32
+	HasParent []bool
+	NodeGOff  []int32
+	TTL       int
+}
+
+func encodeCorrectionParams(pre *corrPre) ([]byte, error) {
+	w := corrParamsWire{
+		Groups:    make([]corrGroupWire, len(pre.sh.groups)),
+		KidIdx:    pre.sh.kidIdx,
+		KidColor:  pre.sh.kidColor,
+		Gates:     pre.sh.gates,
+		HasParent: pre.hasParent,
+		NodeGOff:  pre.nodeGOff,
+		TTL:       pre.ttl,
+	}
+	for i, g := range pre.sh.groups {
+		w.Groups[i] = corrGroupWire{Layer: g.layer, KidOff: g.kidOff, KidEnd: g.kidEnd, GateOff: g.gateOff, GateEnd: g.gateEnd}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("correction: encoding params: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// correctionProgram adapts the correction choreography to
+// dist.Program.
+type correctionProgram struct {
+	sh        *corrShared
+	hasParent []bool
+	nodeGOff  []int32
+	ttl       int
+}
+
+func newCorrectionProgram(ix *graph.Indexed, params []byte) (dist.Program, error) {
+	var w corrParamsWire
+	if err := gob.NewDecoder(bytes.NewReader(params)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("correction: decoding params: %w", err)
+	}
+	n := ix.NumNodes()
+	if len(w.HasParent) != n || len(w.NodeGOff) != n+1 {
+		return nil, fmt.Errorf("correction: params describe %d/%d nodes, snapshot has %d",
+			len(w.HasParent), len(w.NodeGOff), n)
+	}
+	sh := &corrShared{
+		groups:   make([]corrGroup, len(w.Groups)),
+		kidIdx:   w.KidIdx,
+		kidColor: w.KidColor,
+		gates:    w.Gates,
+	}
+	for i, g := range w.Groups {
+		sh.groups[i] = corrGroup{layer: g.Layer, kidOff: g.KidOff, kidEnd: g.KidEnd, gateOff: g.GateOff, gateEnd: g.GateEnd}
+	}
+	return &correctionProgram{sh: sh, hasParent: w.HasParent, nodeGOff: w.NodeGOff, ttl: w.TTL}, nil
+}
+
+func (p *correctionProgram) NewNode(i int) dist.Protocol {
+	node := correctionNode{
+		sh:        p.sh,
+		idx:       int32(i),
+		hasParent: p.hasParent[i],
+		ttl:       p.ttl,
+		gOff:      p.nodeGOff[i],
+		gEnd:      p.nodeGOff[i+1],
+	}
+	return &node
+}
+
+// Payload wire format: a kind byte, then fixed-width little-endian
+// int32 fields.
+const (
+	corrKindFinal    = 0
+	corrKindSetColor = 1
+)
+
+func corrI32(b []byte, v int32) []byte { return binary.LittleEndian.AppendUint32(b, uint32(v)) }
+
+func (p *correctionProgram) EncodePayload(pl any) ([]byte, error) {
+	switch m := pl.(type) {
+	case finalMsg:
+		out := make([]byte, 1, 9)
+		out[0] = corrKindFinal
+		out = corrI32(out, m.Origin)
+		out = corrI32(out, m.Expire)
+		return out, nil
+	case setColorMsg:
+		out := make([]byte, 1, 13)
+		out[0] = corrKindSetColor
+		out = corrI32(out, m.Target)
+		out = corrI32(out, int32(m.Color))
+		out = corrI32(out, m.Expire)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("correction: payload is %T, want finalMsg or setColorMsg", pl)
+	}
+}
+
+func (p *correctionProgram) DecodePayload(data []byte) (any, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("correction: empty payload")
+	}
+	kind, body := data[0], data[1:]
+	i32 := func(off int) int32 { return int32(binary.LittleEndian.Uint32(body[off:])) }
+	switch kind {
+	case corrKindFinal:
+		if len(body) != 8 {
+			return nil, fmt.Errorf("correction: final payload has %d bytes, want 8", len(body))
+		}
+		return finalMsg{Origin: i32(0), Expire: i32(4)}, nil
+	case corrKindSetColor:
+		if len(body) != 12 {
+			return nil, fmt.Errorf("correction: setcolor payload has %d bytes, want 12", len(body))
+		}
+		return setColorMsg{Target: i32(0), Color: int(i32(4)), Expire: i32(8)}, nil
+	default:
+		return nil, fmt.Errorf("correction: payload kind %d unknown", kind)
+	}
+}
+
+func (p *correctionProgram) EncodeOutput(i int, proto dist.Protocol) ([]byte, error) {
+	node, ok := proto.(*correctionNode)
+	if !ok {
+		return nil, fmt.Errorf("correction: protocol is %T", proto)
+	}
+	if node.Output().(bool) {
+		return []byte{1}, nil
+	}
+	return []byte{0}, nil
+}
+
+func (p *correctionProgram) DecodeOutput(i int, data []byte) (any, error) {
+	if len(data) != 1 {
+		return nil, fmt.Errorf("correction: output has %d bytes, want 1", len(data))
+	}
+	return data[0] != 0, nil
+}
+
+func init() {
+	dist.RegisterProgram("correction", newCorrectionProgram)
+}
+
+// RunCorrectionPhasePart is RunCorrectionPhaseFaulty executed on a
+// partition: precompute and trace kernels stay coordinator-side, the
+// choreography itself runs on the shards.
+func RunCorrectionPhasePart(p *dist.Partition, g *graph.Graph, layer map[graph.ID]int, parent map[graph.ID]graph.ID, finalColors map[graph.ID]int, k int, o dist.RoundObserver, f *dist.Faults) (int, error) {
+	pre := correctionPrecompute(g, layer, parent, finalColors, k, o)
+	params, err := encodeCorrectionParams(pre)
+	if err != nil {
+		return 0, err
+	}
+	c, err := dist.NewCoordinator(pre.ix, p, "correction", params)
+	if err != nil {
+		return 0, err
+	}
+	c.Observer = o
+	c.Faults = f
+	res, err := c.Run(pre.maxRounds)
+	if err != nil {
+		return 0, fmt.Errorf("correction phase: %w", err)
+	}
+	for _, v := range pre.ix.IDs() {
+		if !res.Outputs[v].(bool) {
+			return 0, fmt.Errorf("node %d never finalized", v)
+		}
+	}
+	return res.Rounds, nil
+}

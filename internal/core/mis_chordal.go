@@ -106,6 +106,21 @@ func MISChordalDistributedObserved(g *graph.Graph, eps float64, o dist.RoundObse
 // corrupt the pruning layers and are caught by the centralized
 // cross-check below, and crashes surface as engine errors.
 func MISChordalDistributedFaulty(g *graph.Graph, eps float64, o dist.RoundObserver, peelTrace func(peel.LayerEvent), f *dist.Faults) (*ChordalMISResult, error) {
+	return misChordalDistributed(g, eps, o, peelTrace, f, nil)
+}
+
+// MISChordalDistributedFaultyPart is MISChordalDistributedFaulty with
+// the pruning floods executed on a partition (shard hosts that may live
+// in other processes). The post-prune stages are centralized either way,
+// so the MIS is byte-identical to the LOCAL run on the same seed.
+func MISChordalDistributedFaultyPart(g *graph.Graph, eps float64, o dist.RoundObserver, peelTrace func(peel.LayerEvent), f *dist.Faults, part *dist.Partition) (*ChordalMISResult, error) {
+	if part == nil {
+		return nil, fmt.Errorf("partitioned MIS needs a partition")
+	}
+	return misChordalDistributed(g, eps, o, peelTrace, f, part)
+}
+
+func misChordalDistributed(g *graph.Graph, eps float64, o dist.RoundObserver, peelTrace func(peel.LayerEvent), f *dist.Faults, part *dist.Partition) (*ChordalMISResult, error) {
 	if eps <= 0 || eps >= 1 {
 		return nil, fmt.Errorf("epsilon must be in (0,1), got %v", eps)
 	}
@@ -117,6 +132,7 @@ func MISChordalDistributedFaulty(g *graph.Graph, eps float64, o dist.RoundObserv
 		FinalAlpha:    d,
 		Observer:      o,
 		Faults:        f,
+		Part:          part,
 	}
 	outcome, err := DistributedPruneSpec(g, spec)
 	if err != nil {

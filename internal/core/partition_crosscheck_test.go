@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// This file is the headline cross-check of the partitioned runtime: the
+// full coloring and MIS pipelines must produce byte-identical results —
+// outputs, round counts, and the deterministic trace fields — whether
+// the message-passing phases run on the in-process engine or on a
+// partition, fault-free and under dup/delay/drop schedules.
+
+// traceRecorder flattens every deterministic observer event into a
+// string stream. Shards (legitimately different between modes) and
+// anything wall-clock are exactly what it leaves out — the same fields
+// the tracestat diff treats as deterministic.
+type traceRecorder struct {
+	phase  string
+	events []string
+}
+
+func (o *traceRecorder) SetPhase(name string)      { o.phase = name }
+func (o *traceRecorder) RunStart(nodes, edges int) { o.add("run-start %d %d", nodes, edges) }
+func (o *traceRecorder) RoundStart(round, _ int)   { o.add("round-start %d", round) }
+func (o *traceRecorder) ShardStart(shard int)      {}
+func (o *traceRecorder) ShardEnd(shard int)        {}
+func (o *traceRecorder) RunEnd(rounds int)         { o.add("run-end %d", rounds) }
+func (o *traceRecorder) RoundEnd(s dist.RoundStats) {
+	o.add("round-end %d n=%d m=%d v=%d done=%d inbox=%d",
+		s.Round, s.Nodes, s.Messages, s.Volume, s.Done, s.MaxInbox)
+}
+func (o *traceRecorder) FaultRound(fs dist.FaultStats) {
+	o.add("faults %d drop=%d dup=%d dead=%d stall=%d crashed=%v",
+		fs.Round, fs.Dropped, fs.Duplicated, fs.DeadLetters, fs.Stall, fs.Crashed)
+}
+func (o *traceRecorder) add(format string, args ...any) {
+	o.events = append(o.events, o.phase+": "+fmt.Sprintf(format, args...))
+}
+
+func sameTrace(t *testing.T, at string, local, part *traceRecorder) {
+	t.Helper()
+	for i := 0; i < len(local.events) && i < len(part.events); i++ {
+		if local.events[i] != part.events[i] {
+			t.Fatalf("%s: trace event %d diverges:\n  local: %s\n  part:  %s",
+				at, i, local.events[i], part.events[i])
+		}
+	}
+	if len(local.events) != len(part.events) {
+		t.Fatalf("%s: trace lengths diverge: %d local events, %d partitioned",
+			at, len(local.events), len(part.events))
+	}
+}
+
+func parseFaultsPair(t *testing.T, spec string, seed uint64) (*dist.Faults, *dist.Faults) {
+	t.Helper()
+	if spec == "" {
+		return nil, nil
+	}
+	lf, err := dist.ParseFaults(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := dist.ParseFaults(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lf, pf
+}
+
+// TestPartitionedColoringMatchesLocal: the full distributed coloring —
+// pruning floods, Lemma-12 cross-check, coloring, correction
+// choreography — is byte-identical between LOCAL and 2- or 4-shard
+// partitioned execution, fault-free and under absorbed fault schedules.
+func TestPartitionedColoringMatchesLocal(t *testing.T) {
+	g := gen.RandomChordal(100, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.5}, 13)
+	ix := graph.NewIndexed(g)
+	for _, spec := range []string{"", "dup=0.25,delay=2", "dup=0.1,delay=1"} {
+		for _, parts := range []int{2, 4} {
+			at := fmt.Sprintf("%q/parts=%d", spec, parts)
+			lf, pf := parseFaultsPair(t, spec, 29)
+			lObs, pObs := &traceRecorder{}, &traceRecorder{}
+			want, err := ColorChordalDistributedFaulty(g, 0.5, lObs, nil, lf)
+			if err != nil {
+				t.Fatalf("%s: local: %v", at, err)
+			}
+			got, err := ColorChordalDistributedFaultyPart(g, 0.5, pObs, nil, pf, dist.NewLocalPartition(ix, parts))
+			if err != nil {
+				t.Fatalf("%s: partitioned: %v", at, err)
+			}
+			if got.ColorsUsed != want.ColorsUsed || got.Rounds != want.Rounds {
+				t.Fatalf("%s: (colors %d, rounds %d), want (%d, %d)",
+					at, got.ColorsUsed, got.Rounds, want.ColorsUsed, want.Rounds)
+			}
+			for v, c := range want.Colors {
+				if got.Colors[v] != c {
+					t.Fatalf("%s: node %d colored %d, want %d", at, v, got.Colors[v], c)
+				}
+			}
+			for v, c := range want.Provisional {
+				if got.Provisional[v] != c {
+					t.Fatalf("%s: node %d provisional %d, want %d", at, v, got.Provisional[v], c)
+				}
+			}
+			sameTrace(t, at, lObs, pObs)
+		}
+	}
+}
+
+// TestPartitionedColoringDropDivergesIdentically: a drop schedule that
+// corrupts the pruning floods must produce the identical diagnosis in
+// both modes — same deterministic schedule, same truncated balls, same
+// error string.
+func TestPartitionedColoringDropDivergesIdentically(t *testing.T) {
+	g := gen.KTree(60, 1, 47)
+	ix := graph.NewIndexed(g)
+	lf, pf := parseFaultsPair(t, "drop=0.5", 8)
+	_, lerr := ColorChordalDistributedFaulty(g, 0.5, nil, nil, lf)
+	if lerr == nil {
+		t.Fatal("50% drop produced no local error")
+	}
+	_, perr := ColorChordalDistributedFaultyPart(g, 0.5, nil, nil, pf, dist.NewLocalPartition(ix, 3))
+	if perr == nil {
+		t.Fatal("50% drop produced no partitioned error")
+	}
+	if lerr.Error() != perr.Error() {
+		t.Fatalf("drop diagnoses diverge:\n  local: %v\n  part:  %v", lerr, perr)
+	}
+}
+
+// TestPartitionedMISMatchesLocal: same cross-check for the MIS pipeline.
+func TestPartitionedMISMatchesLocal(t *testing.T) {
+	g := gen.RandomChordal(60, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.5}, 47)
+	ix := graph.NewIndexed(g)
+	for _, spec := range []string{"", "dup=0.25,delay=3"} {
+		for _, parts := range []int{2, 4} {
+			at := fmt.Sprintf("%q/parts=%d", spec, parts)
+			lf, pf := parseFaultsPair(t, spec, 33)
+			lObs, pObs := &traceRecorder{}, &traceRecorder{}
+			want, err := MISChordalDistributedFaulty(g, 0.5, lObs, nil, lf)
+			if err != nil {
+				t.Fatalf("%s: local: %v", at, err)
+			}
+			got, err := MISChordalDistributedFaultyPart(g, 0.5, pObs, nil, pf, dist.NewLocalPartition(ix, parts))
+			if err != nil {
+				t.Fatalf("%s: partitioned: %v", at, err)
+			}
+			if !got.Set.Equal(want.Set) {
+				t.Fatalf("%s: MIS diverges: %v vs %v", at, got.Set, want.Set)
+			}
+			if got.Rounds != want.Rounds || got.Iterations != want.Iterations {
+				t.Fatalf("%s: (rounds %d, iters %d), want (%d, %d)",
+					at, got.Rounds, got.Iterations, want.Rounds, want.Iterations)
+			}
+			sameTrace(t, at, lObs, pObs)
+		}
+	}
+}
+
+// TestPartitionedCorrectionMatchesLocal exercises the correction
+// choreography's shipped program directly: precomputed group state,
+// value payload codecs, and the bool outputs must reproduce the LOCAL
+// schedule exactly, including under duplication.
+func TestPartitionedCorrectionMatchesLocal(t *testing.T) {
+	g := gen.RandomChordal(80, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.4}, 31)
+	k := EffectiveK(0.5)
+	col, err := ColorChordalDistributed(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcome, err := DistributedPrune(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := graph.NewIndexed(g)
+	for _, spec := range []string{"", "dup=0.4", "dup=0.2,delay=2"} {
+		for _, parts := range []int{1, 2, 5} {
+			at := fmt.Sprintf("%q/parts=%d", spec, parts)
+			lf, pf := parseFaultsPair(t, spec, 14)
+			lObs, pObs := &traceRecorder{}, &traceRecorder{}
+			want, err := RunCorrectionPhaseFaulty(g, outcome.Layer, outcome.Parent, col.Colors, k, lObs, lf)
+			if err != nil {
+				t.Fatalf("%s: local: %v", at, err)
+			}
+			got, err := RunCorrectionPhasePart(dist.NewLocalPartition(ix, parts), g, outcome.Layer, outcome.Parent, col.Colors, k, pObs, pf)
+			if err != nil {
+				t.Fatalf("%s: partitioned: %v", at, err)
+			}
+			if got != want {
+				t.Fatalf("%s: %d correction rounds, want %d", at, got, want)
+			}
+			sameTrace(t, at, lObs, pObs)
+		}
+	}
+}

@@ -55,6 +55,11 @@ type PruneSpec struct {
 	// sequential schedule. The decision outcome is bit-identical for
 	// every value; only wall time changes.
 	DecideWorkers int
+	// Part, when non-nil, runs every flood on the partitioned runtime
+	// (shards host index ranges; see dist.Coordinator) instead of the
+	// in-process engine. Results are identical by construction — the
+	// decide kernel and all other stages stay coordinator-side.
+	Part *dist.Partition
 }
 
 // DistributedPrune runs the PruneTree subroutine of Algorithm 2 with
@@ -111,7 +116,14 @@ func DistributedPruneSpec(g *graph.Graph, spec PruneSpec) (*PruneOutcome, error)
 		if ps, ok := spec.Observer.(dist.PhaseSetter); ok {
 			ps.SetPhase(fmt.Sprintf("prune-i%02d", iteration))
 		}
-		know, stats, err := dist.CollectBallsByIndex(ix, spec.Radius, noteOf, spec.Observer, spec.Faults)
+		var know []*dist.Knowledge
+		var stats *dist.Result
+		var err error
+		if spec.Part != nil {
+			know, stats, err = dist.CollectBallsByIndexPart(spec.Part, ix, spec.Radius, noteOf, spec.Observer, spec.Faults)
+		} else {
+			know, stats, err = dist.CollectBallsByIndex(ix, spec.Radius, noteOf, spec.Observer, spec.Faults)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -225,11 +237,28 @@ func ColorChordalDistributedObserved(g *graph.Graph, eps float64, o dist.RoundOb
 // centralized peel catches corrupted pruning, and the engine reports
 // crashes directly.
 func ColorChordalDistributedFaulty(g *graph.Graph, eps float64, o dist.RoundObserver, peelTrace func(peel.LayerEvent), f *dist.Faults) (*ChordalColoring, error) {
+	return colorChordalDistributed(g, eps, o, peelTrace, f, nil)
+}
+
+// ColorChordalDistributedFaultyPart is ColorChordalDistributedFaulty
+// with the message-passing phases (the pruning floods and the correction
+// choreography) executed on a partition — shard hosts that may live in
+// other processes. Everything else (decide kernel, centralized
+// cross-check, coloring) stays in this process, and the result is
+// byte-identical to the LOCAL run on the same seed by construction.
+func ColorChordalDistributedFaultyPart(g *graph.Graph, eps float64, o dist.RoundObserver, peelTrace func(peel.LayerEvent), f *dist.Faults, part *dist.Partition) (*ChordalColoring, error) {
+	if part == nil {
+		return nil, fmt.Errorf("partitioned coloring needs a partition")
+	}
+	return colorChordalDistributed(g, eps, o, peelTrace, f, part)
+}
+
+func colorChordalDistributed(g *graph.Graph, eps float64, o dist.RoundObserver, peelTrace func(peel.LayerEvent), f *dist.Faults, part *dist.Partition) (*ChordalColoring, error) {
 	if eps <= 0 {
 		return nil, fmt.Errorf("epsilon must be positive, got %v", eps)
 	}
 	k := EffectiveK(eps)
-	outcome, err := DistributedPruneSpec(g, PruneSpec{DiamThreshold: 3 * k, Radius: 10 * k, Observer: o, Faults: f})
+	outcome, err := DistributedPruneSpec(g, PruneSpec{DiamThreshold: 3 * k, Radius: 10 * k, Observer: o, Faults: f, Part: part})
 	if err != nil {
 		return nil, fmt.Errorf("distributed prune: %w", err)
 	}
@@ -264,7 +293,12 @@ func ColorChordalDistributedFaulty(g *graph.Graph, eps float64, o dist.RoundObse
 	if ps, ok := o.(dist.PhaseSetter); ok {
 		ps.SetPhase("correction")
 	}
-	corrRounds, err := RunCorrectionPhaseFaulty(g, outcome.Layer, outcome.Parent, col.Colors, k, o, f)
+	var corrRounds int
+	if part != nil {
+		corrRounds, err = RunCorrectionPhasePart(part, g, outcome.Layer, outcome.Parent, col.Colors, k, o, f)
+	} else {
+		corrRounds, err = RunCorrectionPhaseFaulty(g, outcome.Layer, outcome.Parent, col.Colors, k, o, f)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -247,23 +248,43 @@ func TestDropCorruptsPlainFlood(t *testing.T) {
 	}
 }
 
-// TestParseFaults covers the dist-level wrapper: empty and no-op specs
-// collapse to nil (the fast path), crash IDs are converted.
+// TestParseFaults covers the dist-level wrapper: an empty spec collapses
+// to (nil, nil) — the documented "no plan requested" fast path — while a
+// syntactically valid but inert spec surfaces as ErrFaultsInactive so a
+// typo'd rate of 0.0 can no longer silently run a fault-free chaos
+// experiment. Crash IDs are converted, and the ParseFaults inputs are
+// recorded on the plan for the partitioned runtime.
 func TestParseFaults(t *testing.T) {
 	if f, err := ParseFaults("", 1); err != nil || f != nil {
 		t.Errorf("empty spec: (%v, %v), want (nil, nil)", f, err)
 	}
-	if f, err := ParseFaults("drop=0,dup=0", 1); err != nil || f != nil {
-		t.Errorf("no-op spec: (%v, %v), want (nil, nil)", f, err)
+	if f, err := ParseFaults("  \t", 1); err != nil || f != nil {
+		t.Errorf("blank spec: (%v, %v), want (nil, nil)", f, err)
 	}
-	f, err := ParseFaults("drop=0.5,crash=7@3", 9)
+	f, err := ParseFaults("drop=0,dup=0", 1)
+	if f != nil {
+		t.Errorf("no-op spec returned a plan: %+v", f)
+	}
+	if !IsInactive(err) {
+		t.Errorf("no-op spec: err = %v, want ErrFaultsInactive", err)
+	}
+	if _, err := ParseFaults("delay=0", 1); !IsInactive(err) {
+		t.Errorf("delay=0: err = %v, want ErrFaultsInactive", err)
+	}
+	f, err = ParseFaults("drop=0.5,crash=7@3", 9)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if f.Plan.Drop != 0.5 || f.Plan.Seed != 9 || f.Crash[graph.ID(7)] != 3 {
 		t.Errorf("parsed %+v", f)
 	}
+	if f.Spec != "drop=0.5,crash=7@3" || f.Seed != 9 {
+		t.Errorf("ParseFaults inputs not recorded: Spec=%q Seed=%d", f.Spec, f.Seed)
+	}
 	if _, err := ParseFaults("drop=2", 1); err == nil {
 		t.Error("bad spec accepted")
+	}
+	if IsInactive(fmt.Errorf("other")) {
+		t.Error("IsInactive matched an unrelated error")
 	}
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -41,6 +42,14 @@ type Faults struct {
 	// Crash maps a node ID to the first step it does NOT execute
 	// (crash at round 0 means the node never even runs Init).
 	Crash map[graph.ID]int
+
+	// Spec and Seed record the ParseFaults inputs that produced this
+	// schedule. The partitioned runtime ships them to shard processes,
+	// which re-parse the spec locally — the schedule is a pure function
+	// of (Spec, Seed), so both sides decide identically. Hand-built
+	// Faults values leave Spec empty and cannot be partitioned.
+	Spec string
+	Seed uint64
 }
 
 // active reports whether the schedule can perturb anything.
@@ -48,15 +57,32 @@ func (f *Faults) active() bool {
 	return f != nil && (f.Plan.Perturbs() || len(f.Crash) > 0)
 }
 
+// ErrFaultsInactive reports a fault spec that parsed successfully but
+// describes a schedule that can never perturb anything: every rate is
+// zero and no crash is listed. An empty spec is the documented
+// "no plan requested" case and does NOT produce this error; a non-empty
+// inert spec almost always is a misconfiguration (a typo'd rate of 0.0
+// would otherwise silently run a fault-free "chaos" experiment), so
+// ParseFaults surfaces it as a typed sentinel that callers match with
+// errors.Is or the IsInactive helper.
+var ErrFaultsInactive = errors.New("fault spec is inactive: all rates zero and no crashes")
+
+// IsInactive reports whether err is (or wraps) ErrFaultsInactive.
+func IsInactive(err error) bool { return errors.Is(err, ErrFaultsInactive) }
+
 // ParseFaults parses a fault spec string (see fault.Parse for the
-// grammar) into a Faults plan keyed by seed. An empty spec returns nil —
-// the engine's fast path.
+// grammar) into a Faults plan keyed by seed. An empty (or all-blank)
+// spec returns (nil, nil) — no plan requested, the engine's fast path.
+// A non-empty spec that parses to a schedule which cannot perturb
+// anything returns (nil, ErrFaultsInactive) so callers can distinguish
+// "no plan requested" from "plan parsed empty" and fail loudly on
+// misconfiguration.
 func ParseFaults(spec string, seed uint64) (*Faults, error) {
 	plan, crash, err := fault.Parse(spec, seed)
 	if err != nil {
 		return nil, err
 	}
-	f := &Faults{Plan: plan}
+	f := &Faults{Plan: plan, Spec: spec, Seed: seed}
 	if len(crash) > 0 {
 		f.Crash = make(map[graph.ID]int, len(crash))
 		for id, r := range crash {
@@ -64,9 +90,23 @@ func ParseFaults(spec string, seed uint64) (*Faults, error) {
 		}
 	}
 	if !f.active() {
-		return nil, nil
+		if isBlank(spec) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("fault: %q: %w", spec, ErrFaultsInactive)
 	}
 	return f, nil
+}
+
+// isBlank reports whether a spec requests nothing at all (empty or
+// whitespace), mirroring fault.Parse's empty-spec fast path.
+func isBlank(spec string) bool {
+	for _, c := range spec {
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			return false
+		}
+	}
+	return true
 }
 
 // FaultStats summarizes the fault events of one round boundary. A stats

@@ -1,0 +1,322 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+)
+
+// ShardRunner hosts one contiguous node range of a partitioned run. It
+// executes the range's protocols step by step under the coordinator's
+// direction, mirroring the LOCAL engine's semantics exactly: nodes run
+// in index order (the sequential schedule — all schedules are
+// observationally identical), inboxes are truncated as they are
+// consumed, Quiescent protocols skip empty-inbox rounds, crashed nodes
+// stop executing, and every outgoing copy is routed through the fault
+// schedule sender-side with global coordinates.
+type ShardRunner struct {
+	ix     *graph.Indexed
+	lo, hi int32
+	prog   Program
+
+	progs     []Protocol // by local offset i-lo
+	ctxs      []Context
+	curRound  int32
+	quiescent bool
+
+	done      []bool // by local offset
+	doneCount int
+
+	faults  *Faults
+	crashAt []int  // by GLOBAL index; nil without a crash schedule
+	dead    []bool // by local offset
+
+	inbox  [][]Message // by local offset; the current round's inboxes
+	staged [][]Message // by local offset; local-destination copies of the step
+	out    []PartMsg
+
+	stepped bool // a step ran since the last Deliver (barrier misuse guard)
+}
+
+// NewShardRunner builds a runner for range [cfg.Lo, cfg.Hi) of ix. The
+// fault schedule is re-parsed locally from (FaultSpec, FaultSeed) — it
+// is a pure function of the pair, so every shard and the coordinator
+// decide identically without shipping schedule state.
+func NewShardRunner(ix *graph.Indexed, cfg ShardConfig) (*ShardRunner, error) {
+	n := ix.NumNodes()
+	if cfg.Lo < 0 || cfg.Hi > int32(n) || cfg.Lo >= cfg.Hi {
+		return nil, fmt.Errorf("dist: shard range [%d, %d) invalid for %d nodes", cfg.Lo, cfg.Hi, n)
+	}
+	prog, err := NewProgram(cfg.Program, ix, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	r := &ShardRunner{
+		ix:   ix,
+		lo:   cfg.Lo,
+		hi:   cfg.Hi,
+		prog: prog,
+	}
+	if cfg.FaultSpec != "" {
+		f, err := ParseFaults(cfg.FaultSpec, cfg.FaultSeed)
+		if err != nil {
+			return nil, err
+		}
+		r.faults = f
+	}
+	local := int(cfg.Hi - cfg.Lo)
+	r.progs = make([]Protocol, local)
+	r.ctxs = make([]Context, local)
+	r.done = make([]bool, local)
+	r.inbox = make([][]Message, local)
+	r.staged = make([][]Message, local)
+	r.quiescent = local > 0
+	for j := range r.progs {
+		i := int(cfg.Lo) + j
+		r.progs[j] = prog.NewNode(i)
+		if _, ok := r.progs[j].(Quiescent); !ok {
+			r.quiescent = false
+		}
+		r.ctxs[j] = Context{
+			id:     ix.IDOf(i),
+			idx:    int32(i),
+			nbrIDs: ix.NeighborIDs(i),
+			nbrIdx: ix.NeighborIndices(i),
+			ix:     ix,
+			round:  &r.curRound,
+		}
+	}
+	if r.faults != nil && len(r.faults.Crash) > 0 {
+		r.crashAt = make([]int, n)
+		for i := range r.crashAt {
+			r.crashAt[i] = -1
+		}
+		r.dead = make([]bool, local)
+		for v, round := range r.faults.Crash {
+			i, ok := ix.IndexOf(v)
+			if !ok {
+				return nil, fmt.Errorf("dist: fault plan crashes node %d, which is not a node of the network", v)
+			}
+			r.crashAt[i] = round
+		}
+	}
+	return r, nil
+}
+
+// Step executes step round (0 = Init) on every live local node and
+// routes the outboxes: local-destination copies are staged for the
+// coming Deliver, remote copies are returned in sender order. All
+// delivery accounting — including drops, duplicates, dead letters, and
+// stall — is charged here, sender-side, so the coordinator's sums equal
+// the LOCAL engine's counters field for field.
+func (r *ShardRunner) Step(round int) *ShardStepResult {
+	r.curRound = int32(round)
+	r.stepped = true
+	if r.crashAt != nil {
+		for j := range r.dead {
+			if r.crashAt[int(r.lo)+j] == round {
+				r.dead[j] = true
+			}
+		}
+	}
+	res := &ShardStepResult{Round: round, BlockedIdx: -1}
+	if err := r.runNodes(round); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	r.route(round, res)
+	res.Done = r.doneCount
+	if r.dead != nil {
+		for j := range r.dead {
+			if r.dead[j] && !r.done[j] {
+				res.DeadNotDone++
+				if res.BlockedIdx < 0 {
+					res.BlockedIdx = r.lo + int32(j)
+					res.BlockedRound = r.crashAt[int(r.lo)+j]
+				}
+			}
+		}
+	}
+	return res
+}
+
+// runNodes runs the step's protocol calls in local index order with the
+// engine's panic recovery: a panicking node program aborts the
+// remaining range and surfaces as the engine-formatted error.
+func (r *ShardRunner) runNodes(round int) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("dist: node program panicked: %v", rec)
+		}
+	}()
+	for j := range r.progs {
+		if r.dead != nil && r.dead[j] {
+			continue
+		}
+		if round == 0 {
+			r.progs[j].Init(&r.ctxs[j])
+		} else {
+			if r.quiescent && len(r.inbox[j]) == 0 {
+				continue
+			}
+			inbox := r.inbox[j]
+			r.inbox[j] = r.inbox[j][:0]
+			r.progs[j].Round(&r.ctxs[j], inbox)
+		}
+		if d := r.progs[j].Done(); d != r.done[j] {
+			r.done[j] = d
+			if d {
+				r.doneCount++
+			} else {
+				r.doneCount--
+			}
+		}
+	}
+	return nil
+}
+
+// route walks the step's outboxes in sender order, expanding broadcasts
+// over neighbor rows, and delivers each copy through the fault schedule
+// with global (round, sender, queue position) coordinates — the LOCAL
+// engine's exact delivery pass, with remote copies encoded instead of
+// appended.
+func (r *ShardRunner) route(round int, res *ShardStepResult) {
+	r.out = r.out[:0]
+	var plan fault.Plan
+	perturb := false
+	if r.faults.active() {
+		plan = r.faults.Plan
+		perturb = plan.Perturbs()
+	}
+	for j := range r.ctxs {
+		c := &r.ctxs[j]
+		sender := int(r.lo) + j
+		pos := 0
+		var encErr error
+		for k, msg := range c.outbox {
+			sz := 1
+			if s, ok := msg.Payload.(Sizer); ok {
+				sz = s.PayloadSize()
+			}
+			var enc []byte // lazily encoded once per outbox entry
+			deliver := func(to int32) {
+				if r.crashAt != nil && r.crashAt[to] >= 0 && r.crashAt[to] <= round+1 {
+					res.DeadLetters++
+					return
+				}
+				var act fault.Action
+				if perturb {
+					act = plan.Decide(round, sender, pos)
+				}
+				if act.Drop {
+					res.Dropped++
+					return
+				}
+				if act.Delay > res.Stall {
+					res.Stall = act.Delay
+				}
+				copies := 1
+				if act.Dup {
+					res.Duplicated++
+					copies = 2
+				}
+				for range copies {
+					if to >= r.lo && to < r.hi {
+						off := to - r.lo
+						r.staged[off] = append(r.staged[off], msg)
+					} else {
+						if enc == nil && encErr == nil {
+							enc, encErr = r.prog.EncodePayload(msg.Payload)
+						}
+						r.out = append(r.out, PartMsg{From: int32(sender), To: to, Data: enc})
+					}
+					res.Messages++
+					res.Volume += sz
+				}
+			}
+			if to := c.targets[k]; to >= 0 {
+				deliver(to)
+				pos++
+			} else {
+				for _, u := range c.nbrIdx {
+					deliver(u)
+					pos++
+				}
+			}
+		}
+		c.outbox = c.outbox[:0]
+		c.targets = c.targets[:0]
+		if encErr != nil && res.Err == "" {
+			res.Err = fmt.Sprintf("dist: shard payload encoding failed: %v", encErr)
+		}
+	}
+	res.Msgs = r.out
+}
+
+// Deliver fills the next round's inboxes from the remote copies the
+// coordinator routed here plus the locally staged block. incoming is in
+// global sender order and contains no local senders, so it splits at
+// the first sender ≥ hi: lower-shard copies, then the staged local
+// block, then higher-shard copies — exactly the (sender, queue
+// position) order the LOCAL engine delivers. Returns the post-delivery
+// inbox high-water mark.
+func (r *ShardRunner) Deliver(incoming []PartMsg) (int, error) {
+	if !r.stepped {
+		return 0, fmt.Errorf("dist: shard Deliver without a preceding Step")
+	}
+	r.stepped = false
+	split := len(incoming)
+	for i, m := range incoming {
+		if m.From >= r.hi {
+			split = i
+			break
+		}
+	}
+	appendRemote := func(msgs []PartMsg) error {
+		for _, m := range msgs {
+			if m.To < r.lo || m.To >= r.hi {
+				return fmt.Errorf("dist: misrouted message for index %d on shard [%d, %d)", m.To, r.lo, r.hi)
+			}
+			pl, err := r.prog.DecodePayload(m.Data)
+			if err != nil {
+				return fmt.Errorf("dist: shard payload decoding failed: %w", err)
+			}
+			off := m.To - r.lo
+			r.inbox[off] = append(r.inbox[off], Message{From: r.ix.IDOf(int(m.From)), Payload: pl})
+		}
+		return nil
+	}
+	if err := appendRemote(incoming[:split]); err != nil {
+		return 0, err
+	}
+	for j := range r.staged {
+		if len(r.staged[j]) > 0 {
+			r.inbox[j] = append(r.inbox[j], r.staged[j]...)
+			r.staged[j] = r.staged[j][:0]
+		}
+	}
+	if err := appendRemote(incoming[split:]); err != nil {
+		return 0, err
+	}
+	maxInbox := 0
+	for j := range r.inbox {
+		if len(r.inbox[j]) > maxInbox {
+			maxInbox = len(r.inbox[j])
+		}
+	}
+	return maxInbox, nil
+}
+
+// Outputs encodes every local node's final output, by local offset.
+func (r *ShardRunner) Outputs() ([][]byte, error) {
+	out := make([][]byte, len(r.progs))
+	for j := range r.progs {
+		data, err := r.prog.EncodeOutput(int(r.lo)+j, r.progs[j])
+		if err != nil {
+			return nil, fmt.Errorf("dist: shard output encoding failed for index %d: %w", int(r.lo)+j, err)
+		}
+		out[j] = data
+	}
+	return out, nil
+}

@@ -215,3 +215,76 @@ func FaultTraceRunCollector(c *obs.Collector, quick bool, f *dist.Faults) error 
 	}
 	return c.Finish()
 }
+
+// defaultFaultSpec is the spec form of FaultTraceRunCollector's default
+// plan; the partitioned workload needs the spec (not just the plan)
+// because shard processes re-derive the schedule from it.
+const defaultFaultSpec = "drop=0.2,dup=0.2,delay=2"
+
+// FaultTraceRunCollectorPart is FaultTraceRunCollector with the
+// message-passing stages executed on partitions supplied by partFor
+// (nil = the in-process engine). Partitioned schedules must come from
+// dist.ParseFaults — the spec is what ships to the shard processes — so
+// the absorbable projection is built by stripping drop/crash from the
+// spec and re-parsing under the same seed.
+func FaultTraceRunCollectorPart(c *obs.Collector, quick bool, f *dist.Faults, partFor Partitioner) error {
+	if partFor == nil {
+		return FaultTraceRunCollector(c, quick, f)
+	}
+	spec, seed := defaultFaultSpec, uint64(7)
+	if f != nil {
+		if f.Spec == "" {
+			return fmt.Errorf("fault trace: partitioned runs need a ParseFaults-built schedule")
+		}
+		spec, seed = f.Spec, f.Seed
+	}
+	full, err := dist.ParseFaults(spec, seed)
+	if err != nil {
+		return fmt.Errorf("fault trace: %w", err)
+	}
+	absorbable, err := dist.ParseFaults(stripDropCrash(spec), seed)
+	if err != nil && !dist.IsInactive(err) {
+		return fmt.Errorf("fault trace: %w", err)
+	}
+
+	c.SetPhase("fig1-faulty")
+	fig := figures.Fig1()
+	part, err := partFor(graph.NewIndexed(fig))
+	if err != nil {
+		return fmt.Errorf("fault trace fig1: %w", err)
+	}
+	if _, err := core.ColorChordalDistributedFaultyPart(fig, 0.5, c, nil, absorbable, part); err != nil {
+		return fmt.Errorf("fault trace fig1: %w", err)
+	}
+
+	n := 1000
+	if quick {
+		n = 300
+	}
+	g := gen.RandomChordal(n, gen.ChordalOpts{MaxCliqueSize: 4, AttachFull: 0.4}, 11)
+	ix := graph.NewIndexed(g)
+	c.SetPhase(fmt.Sprintf("retrans-n%d", n))
+	if part, err = partFor(ix); err != nil {
+		return fmt.Errorf("fault trace retrans: %w", err)
+	}
+	if _, _, err := dist.CollectBallsRetransPart(part, ix, 3, 200, nil, c, full); err != nil {
+		return fmt.Errorf("fault trace retrans: %w", err)
+	}
+	return c.Finish()
+}
+
+// stripDropCrash removes the drop= and crash= components of a fault
+// spec, leaving its absorbable projection (dup/delay).
+func stripDropCrash(spec string) string {
+	var keep []string
+	for _, comp := range strings.Split(spec, ",") {
+		t := strings.TrimSpace(comp)
+		if strings.HasPrefix(t, "drop=") || strings.HasPrefix(t, "crash=") {
+			continue
+		}
+		if t != "" {
+			keep = append(keep, t)
+		}
+	}
+	return strings.Join(keep, ",")
+}

@@ -1,6 +1,9 @@
 package graph
 
-import "slices"
+import (
+	"fmt"
+	"slices"
+)
 
 // Indexed is a frozen, index-based snapshot of a Graph: the n nodes are
 // densely numbered 0..n-1 in increasing ID order and adjacency is stored
@@ -56,6 +59,63 @@ func NewIndexed(g *Graph) *Indexed {
 	}
 	ix.rowPtr[n] = int32(len(ix.colIdx))
 	return ix
+}
+
+// CSR returns the snapshot's raw compressed-sparse-row form: the ID
+// table and the row-pointer/column-index arrays. The slices are shared
+// views into the snapshot and must not be modified. Together with
+// NewIndexedFromCSR this is the serialization boundary of a snapshot —
+// the partitioned runtime ships exactly these three arrays to shard
+// processes, which rebuild an identical Indexed on the other side.
+func (ix *Indexed) CSR() (ids []ID, rowPtr, colIdx []int32) {
+	return ix.ids, ix.rowPtr, ix.colIdx
+}
+
+// NewIndexedFromCSR rebuilds a snapshot from its CSR form (see CSR).
+// The inputs must describe a valid snapshot: ids strictly increasing,
+// rowPtr of length len(ids)+1 nondecreasing from 0 to len(colIdx), and
+// every column index in range with each row sorted ascending. The
+// arrays are adopted, not copied — the caller must not modify them
+// afterwards. Validation is O(n+m): a shard process rebuilding a
+// coordinator's snapshot must fail loudly on a corrupted transfer
+// rather than silently diverge.
+func NewIndexedFromCSR(ids []ID, rowPtr, colIdx []int32) (*Indexed, error) {
+	n := len(ids)
+	if len(rowPtr) != n+1 {
+		return nil, fmt.Errorf("graph: CSR rowPtr has %d entries for %d nodes, want %d", len(rowPtr), n, n+1)
+	}
+	if rowPtr[0] != 0 || int(rowPtr[n]) != len(colIdx) {
+		return nil, fmt.Errorf("graph: CSR rowPtr spans [%d, %d], want [0, %d]", rowPtr[0], rowPtr[n], len(colIdx))
+	}
+	ix := &Indexed{
+		ids:    ids,
+		index:  make(map[ID]int32, n),
+		rowPtr: rowPtr,
+		colIdx: colIdx,
+		colID:  make([]ID, len(colIdx)),
+	}
+	for i, v := range ids {
+		if i > 0 && v <= ids[i-1] {
+			return nil, fmt.Errorf("graph: CSR ids not strictly increasing at index %d", i)
+		}
+		ix.index[v] = int32(i)
+	}
+	for i := 0; i < n; i++ {
+		if rowPtr[i] > rowPtr[i+1] {
+			return nil, fmt.Errorf("graph: CSR rowPtr decreases at row %d", i)
+		}
+		row := colIdx[rowPtr[i]:rowPtr[i+1]]
+		for k, j := range row {
+			if j < 0 || int(j) >= n {
+				return nil, fmt.Errorf("graph: CSR row %d names index %d, out of range [0, %d)", i, j, n)
+			}
+			if k > 0 && j <= row[k-1] {
+				return nil, fmt.Errorf("graph: CSR row %d not sorted ascending at position %d", i, k)
+			}
+			ix.colID[int(rowPtr[i])+k] = ids[j]
+		}
+	}
+	return ix, nil
 }
 
 // NumNodes returns the number of nodes.

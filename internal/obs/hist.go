@@ -133,7 +133,14 @@ func (h *Hist) Quantile(p float64) int64 {
 		cnt := float64(h.counts[b])
 		if cum+cnt >= rank {
 			lo, hi := bucketBounds(b)
-			v := lo + int64(((rank-cum)/cnt)*float64(hi-lo))
+			// The float interpolation can round up to hi-lo+1; in the top
+			// bucket (hi = MaxInt64) that would overflow lo+off past the
+			// int64 ceiling, so bound the offset to the bucket width.
+			off := int64(((rank - cum) / cnt) * float64(hi-lo))
+			if off < 0 || off > hi-lo {
+				off = hi - lo
+			}
+			v := lo + off
 			if v < h.min {
 				v = h.min
 			}

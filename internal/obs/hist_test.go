@@ -1,6 +1,9 @@
 package obs
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestHistEmpty(t *testing.T) {
 	var h Hist
@@ -109,6 +112,85 @@ func TestHistMergeDisjointRanges(t *testing.T) {
 	empty.Merge(&lo)
 	if empty.Min() != 1 || empty.Max() != 100 || empty.Count() != 100 {
 		t.Errorf("merge into empty: min=%d max=%d count=%d", empty.Min(), empty.Max(), empty.Count())
+	}
+}
+
+// TestHistExtremeValues drives Record and Quantile through the int64
+// extremes: MinInt64 must clamp to bucket 0 like any negative span, and
+// MaxInt64 must land in the top bucket (63) with no overflow anywhere —
+// bucketBounds(63) sits right at the int64 ceiling, so this is the
+// bucket where any overflow arithmetic would surface as a panic or a
+// negative estimate.
+func TestHistExtremeValues(t *testing.T) {
+	var h Hist
+	h.Record(math.MinInt64) // negative span: clamps to 0
+	h.Record(math.MaxInt64)
+	if h.Count() != 2 || h.Min() != 0 || h.Max() != math.MaxInt64 {
+		t.Fatalf("count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	if h.counts[0] != 1 || h.counts[63] != 1 {
+		t.Fatalf("bucket spread: counts[0]=%d counts[63]=%d", h.counts[0], h.counts[63])
+	}
+	lo, hi := bucketBounds(63)
+	if lo != int64(1)<<62 || hi != math.MaxInt64 {
+		t.Fatalf("bucketBounds(63)=[%d,%d], want [2^62, MaxInt64]", lo, hi)
+	}
+	for _, p := range []float64{0, 0.5, 1} {
+		q := h.Quantile(p)
+		if q < 0 || q > math.MaxInt64 {
+			t.Fatalf("Quantile(%v)=%d escaped [0, MaxInt64]", p, q)
+		}
+	}
+	if h.Quantile(1) != math.MaxInt64 {
+		t.Errorf("Quantile(1)=%d, want MaxInt64", h.Quantile(1))
+	}
+}
+
+// TestHistQuantileArgumentClamps: p outside [0, 1] clamps, and a NaN p —
+// every comparison against NaN is false — must still return a value
+// inside the observed range instead of panicking.
+func TestHistQuantileArgumentClamps(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{5, 10, 20} {
+		h.Record(v)
+	}
+	if got, want := h.Quantile(-3), h.Quantile(0); got != want {
+		t.Errorf("Quantile(-3)=%d, want Quantile(0)=%d", got, want)
+	}
+	if got, want := h.Quantile(7), h.Quantile(1); got != want {
+		t.Errorf("Quantile(7)=%d, want Quantile(1)=%d", got, want)
+	}
+	if q := h.Quantile(math.NaN()); q < h.Min() || q > h.Max() {
+		t.Errorf("Quantile(NaN)=%d escaped [%d, %d]", q, h.Min(), h.Max())
+	}
+}
+
+// TestHistResetAndEmptyMerges: Reset returns to the ready zero state,
+// merging an empty histogram is the identity, and merging into an empty
+// one copies the source — the three identities the per-phase collector
+// relies on when a phase records nothing.
+func TestHistResetAndEmptyMerges(t *testing.T) {
+	var h Hist
+	h.Record(42)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("reset hist not empty: count=%d sum=%d", h.Count(), h.Sum())
+	}
+	h.Record(9)
+	var empty Hist
+	before := h
+	h.Merge(&empty) // identity
+	if h != before {
+		t.Errorf("merging an empty hist changed state: %+v vs %+v", h, before)
+	}
+	var both, alsoEmpty Hist
+	both.Merge(&alsoEmpty) // empty ∪ empty stays empty and quiet
+	if both.Count() != 0 || both.Quantile(0.5) != 0 {
+		t.Errorf("empty-empty merge: count=%d q50=%d", both.Count(), both.Quantile(0.5))
+	}
+	both.Merge(&h) // empty target copies source, including exact min
+	if both.Count() != 1 || both.Min() != 9 || both.Max() != 9 {
+		t.Errorf("merge into empty: count=%d min=%d max=%d", both.Count(), both.Min(), both.Max())
 	}
 }
 

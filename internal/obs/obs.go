@@ -97,6 +97,15 @@ type Event struct {
 	Stall       int        `json:"stall,omitempty"`
 	Crashed     []graph.ID `json:"crashed,omitempty"`
 
+	// Wire fields (schema v3, additive): bytes moved between the
+	// coordinator and its shard hosts during this round, present only on
+	// partitioned runs with metered links (see dist.WireMeter). They
+	// measure the transport, not the protocol, so canonical mode drops
+	// them — a partitioned canonical trace stays byte-identical to the
+	// LOCAL one.
+	WireInB  int64 `json:"wire_in_b,omitempty"`
+	WireOutB int64 `json:"wire_out_b,omitempty"`
+
 	// WallNS is the wall time of the step: node programs plus message
 	// delivery, RoundStart to RoundEnd. BusyNS[s] is worker shard s's
 	// busy time within the step (absent in per-node mode). Both are
@@ -193,6 +202,11 @@ type Collector struct {
 	// round whose RoundEnd has not arrived yet (FaultRound fires first,
 	// on the same goroutine).
 	pendingFault *dist.FaultStats
+
+	// pendingWire holds the wire byte deltas a partitioned coordinator
+	// reported for the in-flight round (WireRound fires just before the
+	// matching RoundEnd, on the same goroutine, like FaultRound).
+	pendingWire *[3]int64
 
 	// Optional registry kept updated with running totals.
 	reg *Registry
@@ -407,6 +421,16 @@ func (c *Collector) FaultRound(stats dist.FaultStats) {
 	c.pendingFault = &s
 }
 
+// WireRound implements dist.WireObserver: a partitioned coordinator
+// reports the round's coordinator↔shard byte traffic just before the
+// matching RoundEnd, on the same goroutine, so the deltas are parked
+// until the round event materializes (exactly like FaultRound).
+func (c *Collector) WireRound(round int, in, out int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pendingWire = &[3]int64{int64(round), in, out}
+}
+
 // RoundEnd implements dist.RoundObserver: it materializes the round's
 // Event (folding in any fault stats the engine reported for this round),
 // appends it to the in-memory table, and streams it if tracing.
@@ -440,10 +464,17 @@ func (c *Collector) RoundEnd(stats dist.RoundStats) {
 		}
 		c.pendingFault = nil
 	}
+	if w := c.pendingWire; w != nil && w[0] == int64(stats.Round) {
+		ev.WireInB = w[1]
+		ev.WireOutB = w[2]
+		c.pendingWire = nil
+	}
 	if c.canonical {
 		ev.Shards = 0
 		ev.WallNS = 0
 		ev.BusyNS = nil
+		ev.WireInB = 0
+		ev.WireOutB = 0
 	} else {
 		ev.TNS = c.roundStart.Sub(c.start).Nanoseconds()
 	}
@@ -615,4 +646,5 @@ var (
 	_ dist.FaultObserver  = (*Collector)(nil)
 	_ dist.PhaseSetter    = (*Collector)(nil)
 	_ dist.KernelObserver = (*Collector)(nil)
+	_ dist.WireObserver   = (*Collector)(nil)
 )

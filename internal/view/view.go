@@ -19,8 +19,6 @@
 package view
 
 import (
-	"math"
-
 	"repro/internal/graph"
 )
 
@@ -47,25 +45,19 @@ type Ball struct {
 
 	// rowOf inverts nodes (snapshot index -> row); an entry is valid
 	// only when mark holds the current epoch, so reset is O(1) instead
-	// of O(n).
+	// of O(n). The epoch is int64: it only ever increments, and at a
+	// billion rebuilds per second it would take centuries to wrap, so
+	// no wrap guard (and no periodic O(n) mark sweep) is needed.
 	rowOf []int32
-	mark  []int32
-	epoch int32
+	mark  []int64
+	epoch int64
 }
 
 // reset prepares the ball for a rebuild over a snapshot of n nodes.
 func (b *Ball) reset(n int) {
 	if len(b.rowOf) < n {
 		b.rowOf = make([]int32, n)
-		b.mark = make([]int32, n)
-	}
-	if b.epoch == math.MaxInt32 {
-		// Epoch wrap: invalidate every stale mark the slow way once
-		// per 2^31 builds.
-		for i := range b.mark {
-			b.mark[i] = 0
-		}
-		b.epoch = 0
+		b.mark = make([]int64, n)
 	}
 	b.epoch++
 	b.nodes = b.nodes[:0]

@@ -1,0 +1,151 @@
+// Package wire is the out-of-process transport of the partitioned
+// runtime: it hosts dist.ShardRunner ranges in child OS processes and
+// exposes them to the coordinator as dist.ShardLinks over localhost
+// TCP.
+//
+// The protocol is strictly request/response per link with a
+// begin/await split (Step and Deliver broadcast to every shard before
+// any result is awaited), so one batched frame crosses the wire per
+// round per peer in each direction. Frames are length-prefixed: a
+// 4-byte big-endian length covering a kind byte plus a gob-encoded
+// body. Children dial the coordinator (with retry/backoff — the
+// listener may come up after the child), announce their shard index,
+// and serve until shutdown or disconnect.
+//
+// Determinism is inherited, not re-established: the shard protocol
+// transports dist's already-deterministic step/deliver sequence, so a
+// partitioned run over this package is byte-identical to a LOCAL
+// engine run (internal/dist's partition tests pin that property on the
+// in-process transport; internal/core's cross-check suite pins it on
+// this one).
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// Frame kinds. Requests flow coordinator→shard, results shard→
+// coordinator; hello is the one child-initiated frame.
+const (
+	kindHello byte = iota + 1
+	kindSession
+	kindSessionOK
+	kindStart
+	kindStartOK
+	kindStep
+	kindStepResult
+	kindDeliver
+	kindDeliverOK
+	kindOutputs
+	kindOutputsData
+	kindShutdown
+)
+
+// maxFrame bounds a frame's length field: a malformed or corrupted
+// header must fail loudly, not allocate gigabytes.
+const maxFrame = 1 << 30
+
+type helloMsg struct {
+	Shard int
+}
+
+// sessionMsg ships a graph snapshot in CSR form; the shard rebuilds an
+// identical graph.Indexed via graph.NewIndexedFromCSR (which validates
+// the transfer). Re-sendable: multi-graph workloads push a new session
+// before each graph's runs.
+type sessionMsg struct {
+	IDs    []graph.ID
+	RowPtr []int32
+	ColIdx []int32
+}
+
+// okMsg acknowledges session and start requests; a non-empty Err is the
+// shard-side error verbatim.
+type okMsg struct {
+	Err string
+}
+
+type startMsg struct {
+	Cfg dist.ShardConfig
+}
+
+type stepMsg struct {
+	Round int
+}
+
+type stepResultMsg struct {
+	Res dist.ShardStepResult
+}
+
+type deliverMsg struct {
+	Round int
+	Msgs  []dist.PartMsg
+}
+
+type deliverOKMsg struct {
+	MaxInbox int
+	Err      string
+}
+
+type outputsDataMsg struct {
+	Data [][]byte
+	Err  string
+}
+
+// writeFrame encodes body (nil for bodyless kinds), writes one framed
+// message, flushes, and returns the bytes put on the wire.
+func writeFrame(w *bufio.Writer, kind byte, body any) (int, error) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := gob.NewEncoder(&buf).Encode(body); err != nil {
+			return 0, fmt.Errorf("wire: encoding frame kind %d: %w", kind, err)
+		}
+	}
+	if buf.Len()+1 > maxFrame {
+		return 0, fmt.Errorf("wire: frame of %d bytes exceeds the %d limit", buf.Len()+1, maxFrame)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(buf.Len()+1))
+	hdr[4] = kind
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return 0, err
+	}
+	return 5 + buf.Len(), w.Flush()
+}
+
+// readFrame reads one framed message and returns its kind, body, and
+// on-wire size.
+func readFrame(r *bufio.Reader) (kind byte, body []byte, size int, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrame {
+		return 0, nil, 0, fmt.Errorf("wire: frame length %d out of range [1, %d]", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, 0, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	return payload[0], payload[1:], int(4 + n), nil
+}
+
+// decodeBody gob-decodes a frame body into msg.
+func decodeBody(body []byte, msg any) error {
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(msg); err != nil {
+		return fmt.Errorf("wire: decoding frame body: %w", err)
+	}
+	return nil
+}
